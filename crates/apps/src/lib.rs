@@ -1,0 +1,28 @@
+//! Workload applications for the paper's Sec. 5 evaluation.
+//!
+//! Each application is a runtime-agnostic state machine implementing
+//! [`App`]: the `mts-core` testbed hosts it on a VM, owns its TCP
+//! connections, and relays establishment/data/close events. Applications
+//! model payloads as byte counts with protocol-accurate message sizes.
+//!
+//! - [`iperf`] — iperf3-style bulk TCP throughput (client + sink server).
+//! - [`http`] — an Apache-style static-page server and an ApacheBench-style
+//!   closed-loop client (1,000 concurrent connections, 11.3 KB page).
+//! - [`memcached`] — a Memcached server and a memslap-style client with the
+//!   default 90/10 Set/Get mix.
+//! - [`l2fwd`] — the DPDK `l2fwd` app tenant VMs run in MTS: rewrites the
+//!   destination MAC (paper: "we adapted the DPDK-17.11 l2fwd app to
+//!   rewrite the correct destination MAC address") with burst-32 tx
+//!   buffering and the 100 µs drain interval.
+
+pub mod http;
+pub mod iperf;
+pub mod l2fwd;
+pub mod memcached;
+pub mod traits;
+
+pub use http::{AbClient, HttpServer};
+pub use iperf::{IperfClient, IperfServer};
+pub use l2fwd::L2Fwd;
+pub use memcached::{MemcachedServer, MemslapClient};
+pub use traits::{App, AppCtx, ConnId};

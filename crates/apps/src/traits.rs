@@ -1,0 +1,112 @@
+//! The application interface the testbed runtime drives.
+
+use mts_sim::{Dur, Time};
+use std::net::Ipv4Addr;
+
+/// A handle to one TCP connection, assigned by the runtime.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ConnId(pub u64);
+
+/// Capabilities the runtime offers an application.
+///
+/// All sends/closes are asynchronous: they queue work on the underlying
+/// [`mts_tcp::Connection`] which the runtime pumps.
+pub trait AppCtx {
+    /// Queues `bytes` of payload on a connection.
+    fn send(&mut self, conn: ConnId, bytes: u64);
+    /// Requests a graceful close of a connection.
+    fn close(&mut self, conn: ConnId);
+    /// Opens a new client connection to `remote:port`; events arrive via
+    /// [`App::on_connected`].
+    fn connect(&mut self, remote: Ipv4Addr, port: u16) -> ConnId;
+    /// Records one application-level latency sample (nanoseconds).
+    fn record_latency(&mut self, ns: u64);
+    /// Increments a named counter (e.g. `"requests"`, `"bytes"`).
+    fn count(&mut self, what: &'static str, n: u64);
+    /// Charges CPU time to the VM's cores (request service cost).
+    fn consume_cpu(&mut self, cost: Dur);
+    /// A uniform random value in `[0, 1)` from the deterministic stream.
+    fn random(&mut self) -> f64;
+}
+
+/// An application hosted on a VM.
+pub trait App {
+    /// Called once when the VM boots; the app may open connections.
+    fn on_start(&mut self, now: Time, ctx: &mut dyn AppCtx);
+    /// A connection initiated by or accepted for this app is established.
+    fn on_connected(&mut self, conn: ConnId, now: Time, ctx: &mut dyn AppCtx);
+    /// In-order payload arrived on a connection.
+    fn on_data(&mut self, conn: ConnId, bytes: u64, now: Time, ctx: &mut dyn AppCtx);
+    /// The connection fully closed (gracefully or by reset).
+    fn on_closed(&mut self, conn: ConnId, now: Time, ctx: &mut dyn AppCtx);
+}
+
+#[cfg(test)]
+pub(crate) mod test_ctx {
+    //! A recording `AppCtx` for unit-testing applications.
+
+    use super::*;
+    use std::collections::HashMap;
+
+    /// What a test context recorded.
+    #[derive(Default)]
+    pub struct RecordingCtx {
+        /// Bytes queued per connection.
+        pub sent: HashMap<ConnId, u64>,
+        /// Connections closed.
+        pub closed: Vec<ConnId>,
+        /// Connections opened (remote, port).
+        pub connects: Vec<(Ipv4Addr, u16)>,
+        /// Latency samples.
+        pub latencies: Vec<u64>,
+        /// Counters.
+        pub counters: HashMap<&'static str, u64>,
+        /// CPU consumed.
+        pub cpu: Dur,
+        next_conn: u64,
+        rand_seq: u64,
+    }
+
+    impl RecordingCtx {
+        /// Creates an empty recorder; connection ids start at 1000.
+        pub fn new() -> Self {
+            RecordingCtx {
+                next_conn: 1000,
+                ..RecordingCtx::default()
+            }
+        }
+
+        /// Total of a counter.
+        pub fn counter(&self, what: &str) -> u64 {
+            self.counters.get(what).copied().unwrap_or(0)
+        }
+    }
+
+    impl AppCtx for RecordingCtx {
+        fn send(&mut self, conn: ConnId, bytes: u64) {
+            *self.sent.entry(conn).or_insert(0) += bytes;
+        }
+        fn close(&mut self, conn: ConnId) {
+            self.closed.push(conn);
+        }
+        fn connect(&mut self, remote: Ipv4Addr, port: u16) -> ConnId {
+            self.connects.push((remote, port));
+            self.next_conn += 1;
+            ConnId(self.next_conn)
+        }
+        fn record_latency(&mut self, ns: u64) {
+            self.latencies.push(ns);
+        }
+        fn count(&mut self, what: &'static str, n: u64) {
+            *self.counters.entry(what).or_insert(0) += n;
+        }
+        fn consume_cpu(&mut self, cost: Dur) {
+            self.cpu += cost;
+        }
+        fn random(&mut self) -> f64 {
+            // A deterministic low-discrepancy sequence is enough for tests.
+            self.rand_seq += 1;
+            (self.rand_seq as f64 * 0.618_033_988_749) % 1.0
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Fig. 5(b,e,h) — one-way latency at 10 kpps, plus the Sec. 4.2
+//! packet-size sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mts_core::spec::{DeploymentSpec, Scenario, SecurityLevel};
+use mts_core::testbed::{fig5_matrix, RunOpts, Testbed};
+use mts_host::ResourceMode;
+use mts_sim::Dur;
+use mts_vswitch::DatapathKind;
+
+fn latency_opts() -> RunOpts {
+    RunOpts {
+        rate_pps: 10_000.0,
+        wire_len: 64,
+        warmup: Dur::millis(20),
+        measure: Dur::millis(100),
+        seed: 1,
+    }
+}
+
+fn bench_row(c: &mut Criterion, name: &str, mode: ResourceMode, dp: DatapathKind) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for scenario in Scenario::ALL {
+        for spec in fig5_matrix(mode, dp, scenario) {
+            let tb = Testbed::new(spec);
+            let m = tb.run(latency_opts()).expect("runs");
+            println!(
+                "[{name}] {:<26} {:>4}  p50 {:>8.1}us p99 {:>8.1}us",
+                m.config,
+                m.scenario,
+                m.latency.p50 as f64 / 1e3,
+                m.latency.p99 as f64 / 1e3
+            );
+            group.bench_function(format!("{} {}", spec.label(), scenario.label()), |b| {
+                b.iter(|| tb.run(latency_opts()).expect("runs").latency.p50)
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig5b_shared(c: &mut Criterion) {
+    bench_row(c, "fig5b_shared", ResourceMode::Shared, DatapathKind::Kernel);
+}
+
+fn fig5e_isolated(c: &mut Criterion) {
+    bench_row(
+        c,
+        "fig5e_isolated",
+        ResourceMode::Isolated,
+        DatapathKind::Kernel,
+    );
+}
+
+fn fig5h_dpdk(c: &mut Criterion) {
+    bench_row(c, "fig5h_dpdk", ResourceMode::Isolated, DatapathKind::Dpdk);
+}
+
+/// The Sec. 4.2 packet-size sweep: 64/512/1500/2048 B probes.
+fn pktsize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec42_pktsize");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let spec = DeploymentSpec::mts(
+        SecurityLevel::Level1,
+        DatapathKind::Kernel,
+        ResourceMode::Isolated,
+        Scenario::P2v,
+    );
+    let tb = Testbed::new(spec);
+    for wire in [64u32, 512, 1500, 2048] {
+        let opts = latency_opts().with_wire_len(wire);
+        let m = tb.run(opts).expect("runs");
+        println!(
+            "[pktsize] {}B p50 {:.1}us",
+            wire,
+            m.latency.p50 as f64 / 1e3
+        );
+        group.bench_function(format!("L1 p2v {}B", wire), |b| {
+            b.iter(|| tb.run(opts).expect("runs").latency.p50)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig5lat, fig5b_shared, fig5e_isolated, fig5h_dpdk, pktsize);
+criterion_main!(fig5lat);

@@ -1,0 +1,64 @@
+//! Fig. 5(a,d,g) — aggregate forwarding throughput.
+//!
+//! One Criterion group per resource-mode row; each benchmark runs the full
+//! measurement pipeline for one configuration at a reduced window, so
+//! `cargo bench` both regenerates the figure rows (printed once per
+//! benchmark) and tracks the simulator's own performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mts_core::spec::Scenario;
+use mts_core::testbed::{fig5_matrix, RunOpts, Testbed};
+use mts_host::ResourceMode;
+use mts_vswitch::DatapathKind;
+
+fn bench_row(c: &mut Criterion, name: &str, mode: ResourceMode, dp: DatapathKind) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for scenario in Scenario::ALL {
+        for spec in fig5_matrix(mode, dp, scenario) {
+            let tb = Testbed::new(spec);
+            // Reduced offered rate + window: `cargo bench` tracks simulator
+            // performance; the `repro` binary regenerates full-fidelity rows.
+            let opts = RunOpts {
+                rate_pps: 2_000_000.0,
+                wire_len: 64,
+                warmup: mts_sim::Dur::millis(6),
+                measure: mts_sim::Dur::millis(2),
+                seed: 1,
+            };
+            let m = tb.run(opts).expect("runs");
+            println!(
+                "[{name}] {:<26} {:>4}  {:>8.3} Mpps",
+                m.config,
+                m.scenario,
+                m.mpps()
+            );
+            group.bench_function(format!("{} {}", spec.label(), scenario.label()), |b| {
+                b.iter(|| tb.run(opts).expect("runs").received)
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig5a_shared(c: &mut Criterion) {
+    bench_row(c, "fig5a_shared", ResourceMode::Shared, DatapathKind::Kernel);
+}
+
+fn fig5d_isolated(c: &mut Criterion) {
+    bench_row(
+        c,
+        "fig5d_isolated",
+        ResourceMode::Isolated,
+        DatapathKind::Kernel,
+    );
+}
+
+fn fig5g_dpdk(c: &mut Criterion) {
+    bench_row(c, "fig5g_dpdk", ResourceMode::Isolated, DatapathKind::Dpdk);
+}
+
+criterion_group!(fig5, fig5a_shared, fig5d_isolated, fig5g_dpdk);
+criterion_main!(fig5);

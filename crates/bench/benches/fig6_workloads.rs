@@ -1,0 +1,102 @@
+//! Fig. 6 — the TCP workload evaluation (iperf, Apache, Memcached).
+//!
+//! One benchmark per `(workload, representative configuration)` pair at
+//! reduced windows; the figure row values print once per benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mts_core::spec::{DeploymentSpec, Scenario, SecurityLevel};
+use mts_core::workloads::{run_workload, Workload, WorkloadOpts};
+use mts_host::ResourceMode;
+use mts_sim::Dur;
+use mts_vswitch::DatapathKind;
+
+fn quick_opts() -> WorkloadOpts {
+    WorkloadOpts {
+        duration: Dur::millis(150),
+        warmup: Dur::millis(150),
+        ab_concurrency: 50,
+        memslap_connections: 16,
+        seed: 1,
+    }
+}
+
+fn matrix() -> Vec<(&'static str, DeploymentSpec)> {
+    vec![
+        (
+            "baseline shared",
+            DeploymentSpec::baseline(
+                DatapathKind::Kernel,
+                ResourceMode::Shared,
+                1,
+                Scenario::P2v,
+            ),
+        ),
+        (
+            "L1 shared",
+            DeploymentSpec::mts(
+                SecurityLevel::Level1,
+                DatapathKind::Kernel,
+                ResourceMode::Shared,
+                Scenario::P2v,
+            ),
+        ),
+        (
+            "L2-4 isolated",
+            DeploymentSpec::mts(
+                SecurityLevel::Level2 { compartments: 4 },
+                DatapathKind::Kernel,
+                ResourceMode::Isolated,
+                Scenario::P2v,
+            ),
+        ),
+        (
+            "L2-4 dpdk",
+            DeploymentSpec::mts(
+                SecurityLevel::Level2 { compartments: 4 },
+                DatapathKind::Dpdk,
+                ResourceMode::Isolated,
+                Scenario::P2v,
+            ),
+        ),
+    ]
+}
+
+fn bench_workload(c: &mut Criterion, workload: Workload, panel: &str) {
+    let mut group = c.benchmark_group(panel);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for (label, spec) in matrix() {
+        let r = run_workload(spec, workload, quick_opts()).expect("runs");
+        println!(
+            "[{panel}] {:<16} {:>12.2} {} (mean resp {:.2} ms)",
+            label,
+            r.throughput,
+            workload.unit(),
+            r.latency.mean / 1e6
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                run_workload(spec, workload, quick_opts())
+                    .expect("runs")
+                    .throughput
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig6_iperf(c: &mut Criterion) {
+    bench_workload(c, Workload::Iperf, "fig6_iperf");
+}
+
+fn fig6_apache(c: &mut Criterion) {
+    bench_workload(c, Workload::Apache, "fig6_apache");
+}
+
+fn fig6_memcached(c: &mut Criterion) {
+    bench_workload(c, Workload::Memcached, "fig6_memcached");
+}
+
+criterion_group!(fig6, fig6_iperf, fig6_apache, fig6_memcached);
+criterion_main!(fig6);

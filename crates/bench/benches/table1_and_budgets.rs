@@ -1,0 +1,65 @@
+//! Table 1 (the vswitch survey), the Sec. 3.2 VF budget arithmetic and the
+//! isolation matrix (the qualitative security evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mts_core::spec::{DeploymentSpec, Scenario, SecurityLevel};
+use mts_core::vfplan::{AddressPlan, VfBudget};
+use mts_core::{attacks, survey};
+use mts_host::ResourceMode;
+use mts_vswitch::DatapathKind;
+
+fn table1(c: &mut Criterion) {
+    println!("{}", survey::render_table());
+    println!(
+        "monolithic {:.0}%, co-located {:.0}%, split processing {:.0}%",
+        survey::monolithic_fraction() * 100.0,
+        survey::colocated_fraction() * 100.0,
+        survey::split_processing_fraction() * 100.0
+    );
+    c.bench_function("table1_render", |b| b.iter(survey::render_table));
+}
+
+fn vf_budget(c: &mut Criterion) {
+    for (level, tenants, expect) in [
+        (SecurityLevel::Level1, 1u32, 3u32),
+        (SecurityLevel::Level1, 4, 9),
+        (SecurityLevel::Level2 { compartments: 2 }, 2, 6),
+        (SecurityLevel::Level2 { compartments: 4 }, 4, 12),
+    ] {
+        let total = VfBudget::for_level(level, tenants, 1).total();
+        println!("[vfcount] {} x{tenants} tenants -> {total} VFs", level.label());
+        assert_eq!(total, expect, "paper Sec. 3.2 numbers");
+    }
+    let spec = DeploymentSpec::mts(
+        SecurityLevel::Level2 { compartments: 4 },
+        DatapathKind::Kernel,
+        ResourceMode::Shared,
+        Scenario::P2v,
+    );
+    c.bench_function("address_plan_build", |b| {
+        b.iter(|| AddressPlan::build(&spec, 2).total_vfs())
+    });
+}
+
+fn isolation(c: &mut Criterion) {
+    for r in attacks::evaluate_ladder().expect("ladder evaluates") {
+        println!("{r}");
+    }
+    let spec = DeploymentSpec::mts(
+        SecurityLevel::Level2 { compartments: 4 },
+        DatapathKind::Kernel,
+        ResourceMode::Shared,
+        Scenario::P2v,
+    );
+    let mut group = c.benchmark_group("isolation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.bench_function("attack_suite_l2_4", |b| {
+        b.iter(|| attacks::evaluate(spec).expect("evaluates").blocked_count())
+    });
+    group.finish();
+}
+
+criterion_group!(table1_and_budgets, table1, vf_budget, isolation);
+criterion_main!(table1_and_budgets);

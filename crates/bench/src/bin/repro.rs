@@ -1,0 +1,309 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] [--out DIR] \
+//!   [all|fig5|fig6|pktsize|table1|vfcount|isolation|noisy|overlay|billing]
+//! ```
+//!
+//! Prints aligned tables to stdout and writes CSV files under `--out`
+//! (default `results/`). `--quick` scales measurement windows down ~8x for
+//! a fast smoke pass.
+
+use mts_bench::figures::{
+    fig5_panel, fig6_panel, isolation_matrix, pktsize_sweep, render_fig6, vf_count_table,
+    Fig5Panel, Fig6Panel, ReproOpts,
+};
+use mts_core::perfiso::{self, NoisyOpts};
+use mts_core::spec::{DeploymentSpec, Scenario, SecurityLevel};
+use mts_core::runtime::{start_udp_generator, RuntimeCfg, Sim, World};
+use mts_core::survey;
+use mts_core::workloads::Workload;
+use mts_core::{billing, overlay, Controller};
+use mts_net::MacAddr;
+use mts_sim::Time;
+use mts_host::ResourceMode;
+use mts_vswitch::DatapathKind;
+use std::fs;
+use std::path::PathBuf;
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    what: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut quick = false;
+    let mut out = PathBuf::from("results");
+    let mut what = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                if let Some(dir) = args.next() {
+                    out = PathBuf::from(dir);
+                }
+            }
+            other => what.push(other.to_string()),
+        }
+    }
+    if what.is_empty() {
+        what.push("all".to_string());
+    }
+    Args { quick, out, what }
+}
+
+fn save(out_dir: &PathBuf, name: &str, content: &str) {
+    if fs::create_dir_all(out_dir).is_ok() {
+        let path = out_dir.join(name);
+        if fs::write(&path, content).is_ok() {
+            eprintln!("  wrote {}", path.display());
+        }
+    }
+}
+
+fn run_fig5(opts: ReproOpts, out: &PathBuf) {
+    for panel in Fig5Panel::ALL {
+        let (tput, lat, res) = fig5_panel(panel, opts);
+        println!("{}", tput.render_throughput());
+        println!("{}", lat.render_latency());
+        println!("{}", res.render_resources());
+        let tag = panel.label().split(' ').next().unwrap_or("row");
+        save(out, &format!("fig5_{tag}_throughput.csv"), &tput.to_csv());
+        save(out, &format!("fig5_{tag}_latency.csv"), &lat.to_csv());
+    }
+}
+
+fn run_fig6(opts: ReproOpts, out: &PathBuf) {
+    for row in Fig5Panel::ALL {
+        for workload in Workload::ALL {
+            let panel = Fig6Panel { row, workload };
+            let rows = fig6_panel(panel, opts);
+            println!("{}", render_fig6(panel.name(), workload, &rows));
+            let mut csv = String::from(
+                "config,scenario,workload,throughput,ci95,resp_p50_ns,resp_p99_ns\n",
+            );
+            for r in &rows {
+                csv.push_str(&format!(
+                    "{},{},{},{:.3},{:.3},{},{}\n",
+                    r.config.replace(',', ";"),
+                    r.scenario,
+                    r.workload,
+                    r.throughput,
+                    r.ci95,
+                    r.latency.p50,
+                    r.latency.p99
+                ));
+            }
+            let tag = format!(
+                "fig6_{}_{}",
+                row.label().split(' ').next().unwrap_or("row"),
+                workload.label()
+            );
+            save(out, &format!("{tag}.csv"), &csv);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let opts = if args.quick {
+        ReproOpts::quick()
+    } else {
+        ReproOpts::default()
+    };
+    eprintln!(
+        "repro: scale={} reps={} -> {}",
+        opts.scale,
+        opts.reps,
+        args.out.display()
+    );
+    for what in &args.what {
+        match what.as_str() {
+            "fig5" => run_fig5(opts, &args.out),
+            "fig6" => run_fig6(opts, &args.out),
+            "pktsize" => {
+                let rep = pktsize_sweep(opts);
+                println!("{}", rep.render_latency());
+                save(&args.out, "pktsize_latency.csv", &rep.to_csv());
+            }
+            "table1" => {
+                println!("== Table 1: design characteristics of virtual switches ==");
+                println!("{}", survey::render_table());
+                println!(
+                    "monolithic: {:.0}%  co-located: {:.0}%  split kernel/user: {:.0}%\n",
+                    survey::monolithic_fraction() * 100.0,
+                    survey::colocated_fraction() * 100.0,
+                    survey::split_processing_fraction() * 100.0
+                );
+            }
+            "vfcount" => println!("{}", vf_count_table()),
+            "noisy" => {
+                let mut rows = Vec::new();
+                for spec in [
+                    DeploymentSpec::baseline(
+                        DatapathKind::Kernel,
+                        ResourceMode::Shared,
+                        1,
+                        Scenario::P2v,
+                    ),
+                    DeploymentSpec::mts(
+                        SecurityLevel::Level1,
+                        DatapathKind::Kernel,
+                        ResourceMode::Shared,
+                        Scenario::P2v,
+                    ),
+                    DeploymentSpec::mts(
+                        SecurityLevel::Level2 { compartments: 2 },
+                        DatapathKind::Kernel,
+                        ResourceMode::Shared,
+                        Scenario::P2v,
+                    ),
+                    DeploymentSpec::mts(
+                        SecurityLevel::Level2 { compartments: 2 },
+                        DatapathKind::Kernel,
+                        ResourceMode::Isolated,
+                        Scenario::P2v,
+                    ),
+                    DeploymentSpec::mts(
+                        SecurityLevel::Level2 { compartments: 4 },
+                        DatapathKind::Kernel,
+                        ResourceMode::Isolated,
+                        Scenario::P2v,
+                    ),
+                ] {
+                    match perfiso::noisy_neighbor(spec, NoisyOpts::default()) {
+                        Ok(r) => rows.push(r),
+                        Err(e) => eprintln!("noisy: {e}"),
+                    }
+                }
+                println!("{}", perfiso::render(&rows));
+            }
+            "isolation" => println!("{}", isolation_matrix()),
+            "overlay" => {
+                // VXLAN overlay round trip (Sec. 3.2) on Level-2.
+                let spec = DeploymentSpec::mts(
+                    SecurityLevel::Level2 { compartments: 2 },
+                    DatapathKind::Kernel,
+                    ResourceMode::Isolated,
+                    Scenario::P2v,
+                );
+                let mut d = Controller::build(spec, 2).expect("deployable");
+                let cfg = overlay::OverlayConfig::default();
+                overlay::install_overlay_rules(&mut d, cfg).expect("overlay rules");
+                let mut w = World::new(d, RuntimeCfg::for_spec(&spec), 1);
+                w.sink.window = (Time::ZERO, Time::MAX);
+                let mut e = Sim::new();
+                let flows: Vec<_> = w
+                    .plan
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        let c = w.spec.compartment_of_tenant(t.index) as usize;
+                        (
+                            w.plan.compartments[c].in_out[0].1,
+                            t.ip,
+                            cfg.vni(t.index),
+                        )
+                    })
+                    .collect();
+                overlay::start_overlay_generator(
+                    &mut e,
+                    flows,
+                    cfg,
+                    100_000.0,
+                    256,
+                    Time::from_nanos(20_000_000),
+                );
+                e.run_until(&mut w, Time::from_nanos(60_000_000));
+                println!("== VXLAN overlay (Sec 3.2) ==");
+                println!(
+                    "sent {}  received {}  p50 {:.1} us  per-tenant {:?}",
+                    w.sink.sent,
+                    w.sink.received,
+                    w.sink.latency.percentile(50.0) as f64 / 1e3,
+                    w.sink.per_flow
+                );
+            }
+            "billing" => {
+                // Per-tenant accounting (Sec. 6) from a standard p2v run.
+                for spec in [
+                    DeploymentSpec::baseline(
+                        DatapathKind::Kernel,
+                        ResourceMode::Shared,
+                        1,
+                        Scenario::P2v,
+                    ),
+                    DeploymentSpec::mts(
+                        SecurityLevel::Level2 { compartments: 4 },
+                        DatapathKind::Kernel,
+                        ResourceMode::Isolated,
+                        Scenario::P2v,
+                    ),
+                ] {
+                    let d = Controller::deploy(spec).expect("deployable");
+                    let mut w = World::new(d, RuntimeCfg::for_spec(&spec), 1);
+                    w.sink.window = (Time::ZERO, Time::MAX);
+                    let mut e = Sim::new();
+                    let flows: Vec<(MacAddr, std::net::Ipv4Addr)> = w
+                        .plan
+                        .tenants
+                        .iter()
+                        .map(|t| {
+                            let dmac = if spec.level.compartmentalized() {
+                                let c = spec.compartment_of_tenant(t.index) as usize;
+                                w.plan.compartments[c].in_out[0].1
+                            } else {
+                                Controller::baseline_router_mac(0)
+                            };
+                            (dmac, t.ip)
+                        })
+                        .collect();
+                    start_udp_generator(
+                        &mut e,
+                        flows,
+                        200_000.0,
+                        64,
+                        Time::from_nanos(20_000_000),
+                    );
+                    e.run_until(&mut w, Time::from_nanos(60_000_000));
+                    print!("{}", billing::bill(&w));
+                }
+            }
+            "all" => {
+                println!("== Table 1 ==\n{}", survey::render_table());
+                println!("{}", vf_count_table());
+                println!("{}", isolation_matrix());
+                run_fig5(opts, &args.out);
+                let rep = pktsize_sweep(opts);
+                println!("{}", rep.render_latency());
+                save(&args.out, "pktsize_latency.csv", &rep.to_csv());
+                run_fig6(opts, &args.out);
+                let mut rows = Vec::new();
+                for spec in [
+                    DeploymentSpec::baseline(
+                        DatapathKind::Kernel,
+                        ResourceMode::Shared,
+                        1,
+                        Scenario::P2v,
+                    ),
+                    DeploymentSpec::mts(
+                        SecurityLevel::Level2 { compartments: 2 },
+                        DatapathKind::Kernel,
+                        ResourceMode::Isolated,
+                        Scenario::P2v,
+                    ),
+                ] {
+                    if let Ok(r) = perfiso::noisy_neighbor(spec, NoisyOpts::default()) {
+                        rows.push(r);
+                    }
+                }
+                println!("{}", perfiso::render(&rows));
+            }
+            other => eprintln!("unknown target: {other}"),
+        }
+    }
+}

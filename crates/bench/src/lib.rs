@@ -1,0 +1,15 @@
+//! Figure-reproduction harness for the MTS paper.
+//!
+//! [`figures`] regenerates every panel of Fig. 5 and Fig. 6, Table 1, the
+//! Sec. 3.2 VF-count table, the Sec. 4.2 packet-size sweep and the
+//! isolation matrix; the `repro` binary prints them and writes CSV files.
+//! The Criterion benches under `benches/` exercise the same code paths at
+//! reduced windows (one bench per table/figure, plus substrate
+//! microbenchmarks).
+
+pub mod figures;
+
+pub use figures::{
+    fig5_panel, fig6_panel, isolation_matrix, pktsize_sweep, vf_count_table, Fig5Panel, Fig6Panel,
+    ReproOpts,
+};

@@ -1,0 +1,285 @@
+//! Per-tenant accounting and billing (paper Sec. 6).
+//!
+//! "From an accounting and billing perspective, we strongly believe that
+//! MTS is a new way to bill and monitor virtual networks at granularity
+//! more than a simple flow rule: CPU, memory and I/O for virtual
+//! networking can be charged."
+//!
+//! MTS makes this natural because each compartment's resources are its
+//! tenants' alone: a compartment's core time, its VM memory, and the flow
+//! statistics of its tenant-tagged rules (cookie = tenant + 1) add up to
+//! an itemized bill. For the Baseline, only flow statistics are
+//! attributable — the shared vswitch's CPU cannot be split honestly, which
+//! is exactly the paper's point.
+
+use crate::runtime::World;
+use crate::spec::SecurityLevel;
+use mts_sim::Dur;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One tenant's itemized bill for a measurement window.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantBill {
+    /// Tenant index.
+    pub tenant: u8,
+    /// Packets matched by the tenant's flow rules (I/O, packet count).
+    pub packets: u64,
+    /// Bytes matched by the tenant's flow rules (I/O, volume).
+    pub bytes: u64,
+    /// vswitch CPU time attributable to this tenant.
+    pub vswitch_cpu: Dur,
+    /// Whether the CPU attribution is exact (dedicated compartment) or
+    /// proportional (compartment shared by several tenants).
+    pub cpu_exact: bool,
+    /// vswitch-VM memory attributable to this tenant, in GB.
+    pub vswitch_ram_gb: f64,
+}
+
+/// The bill for a whole deployment run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BillingReport {
+    /// Configuration label.
+    pub config: String,
+    /// Per-tenant lines.
+    pub tenants: Vec<TenantBill>,
+    /// CPU that could not be attributed to any tenant (Baseline: all of
+    /// the shared vswitch's time beyond flow statistics).
+    pub unattributed_cpu: Dur,
+}
+
+impl BillingReport {
+    /// Total billed packets.
+    pub fn total_packets(&self) -> u64 {
+        self.tenants.iter().map(|t| t.packets).sum()
+    }
+
+    /// Total billed vswitch CPU.
+    pub fn total_cpu(&self) -> Dur {
+        self.tenants.iter().map(|t| t.vswitch_cpu).sum()
+    }
+}
+
+impl fmt::Display for BillingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "billing: {}", self.config)?;
+        writeln!(
+            f,
+            "  {:>6} {:>12} {:>14} {:>14} {:>7} {:>8}",
+            "tenant", "packets", "bytes", "vswitch cpu", "exact", "ram GB"
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "  {:>6} {:>12} {:>14} {:>14} {:>7} {:>8.2}",
+                t.tenant,
+                t.packets,
+                t.bytes,
+                format!("{}", t.vswitch_cpu),
+                if t.cpu_exact { "yes" } else { "prop." },
+                t.vswitch_ram_gb
+            )?;
+        }
+        writeln!(f, "  unattributed cpu: {}", self.unattributed_cpu)
+    }
+}
+
+/// Produces the bill from a finished run's world state.
+///
+/// Flow I/O comes from the tenant-cookie rule statistics. CPU comes from
+/// the per-user core accounting: a compartment serving one tenant is billed
+/// exactly; a compartment serving several splits its time in proportion to
+/// the tenants' byte counts. The Baseline's vswitch time is unattributable
+/// (it runs as the host, one shared datapath) and lands in
+/// [`BillingReport::unattributed_cpu`].
+pub fn bill(w: &World) -> BillingReport {
+    let mut tenants = Vec::new();
+    let mut unattributed = Dur::ZERO;
+
+    // Per-tenant I/O from rule statistics, summed across all vswitches.
+    let mut io: Vec<(u64, u64)> = vec![(0, 0); w.spec.tenants as usize];
+    for vs in &w.vswitches {
+        for t in 0..w.spec.tenants {
+            let cookie = u64::from(t) + 1;
+            let (p, b) = vs.inst.sw.stats_by_cookie(cookie);
+            io[t as usize].0 += p;
+            io[t as usize].1 += b;
+        }
+    }
+
+    // CPU per compartment from the core ledger.
+    let compartmentalized = w.spec.level != SecurityLevel::Baseline;
+    let mut cpu: Vec<(Dur, bool)> = vec![(Dur::ZERO, false); w.spec.tenants as usize];
+    for (i, _vs) in w.vswitches.iter().enumerate() {
+        let user = 0x1000 + i as u64;
+        let busy: Dur = w
+            .cores
+            .iter()
+            .map(|c| c.busy_for(user))
+            .fold(Dur::ZERO, |a, b| a + b);
+        if !compartmentalized {
+            unattributed += busy;
+            continue;
+        }
+        let members = w.spec.tenants_of_compartment(i as u8);
+        if members.len() == 1 {
+            cpu[members[0] as usize] = (busy, true);
+        } else {
+            // Proportional split by bytes.
+            let total_bytes: u64 = members.iter().map(|t| io[*t as usize].1).sum();
+            for t in &members {
+                let share = if total_bytes == 0 {
+                    1.0 / members.len() as f64
+                } else {
+                    io[*t as usize].1 as f64 / total_bytes as f64
+                };
+                cpu[*t as usize] = (busy.mul_f64(share), false);
+            }
+        }
+    }
+
+    // RAM: each compartment VM is 4 GB, split across its tenants.
+    let mut ram = vec![0.0f64; w.spec.tenants as usize];
+    if compartmentalized {
+        for i in 0..w.vswitches.len() {
+            let members = w.spec.tenants_of_compartment(i as u8);
+            for t in &members {
+                ram[*t as usize] = 4.0 / members.len() as f64;
+            }
+        }
+    }
+
+    for t in 0..w.spec.tenants {
+        let idx = t as usize;
+        tenants.push(TenantBill {
+            tenant: t,
+            packets: io[idx].0,
+            bytes: io[idx].1,
+            vswitch_cpu: cpu[idx].0,
+            cpu_exact: cpu[idx].1,
+            vswitch_ram_gb: ram[idx],
+        });
+    }
+
+    BillingReport {
+        config: w.spec.label(),
+        tenants,
+        unattributed_cpu: unattributed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Controller;
+    use crate::runtime::{start_udp_generator, RuntimeCfg, Sim, World};
+    use crate::spec::{DeploymentSpec, Scenario};
+    use mts_host::ResourceMode;
+    use mts_net::MacAddr;
+    use mts_sim::Time;
+    use mts_vswitch::DatapathKind;
+
+    fn run(spec: DeploymentSpec) -> World {
+        let d = Controller::deploy(spec).unwrap();
+        let cfg = RuntimeCfg::for_spec(&spec);
+        let mut w = World::new(d, cfg, 9);
+        let mut e = Sim::new();
+        let flows: Vec<(MacAddr, std::net::Ipv4Addr)> = w
+            .plan
+            .tenants
+            .iter()
+            .map(|t| {
+                let dmac = if spec.level.compartmentalized() {
+                    let c = spec.compartment_of_tenant(t.index) as usize;
+                    w.plan.compartments[c].in_out[0].1
+                } else {
+                    Controller::baseline_router_mac(0)
+                };
+                (dmac, t.ip)
+            })
+            .collect();
+        w.sink.window = (Time::ZERO, Time::MAX);
+        start_udp_generator(&mut e, flows, 100_000.0, 64, Time::from_nanos(4_000_000));
+        e.run_until(&mut w, Time::from_nanos(10_000_000));
+        w
+    }
+
+    #[test]
+    fn level2_4_bills_cpu_exactly_per_tenant() {
+        let spec = DeploymentSpec::mts(
+            SecurityLevel::Level2 { compartments: 4 },
+            DatapathKind::Kernel,
+            ResourceMode::Isolated,
+            Scenario::P2v,
+        );
+        let w = run(spec);
+        let report = bill(&w);
+        assert_eq!(report.tenants.len(), 4);
+        for t in &report.tenants {
+            assert!(t.cpu_exact, "singleton compartment must bill exactly");
+            assert!(t.packets > 0, "tenant {} unbilled", t.tenant);
+            assert!(t.vswitch_cpu > Dur::ZERO);
+            assert!((t.vswitch_ram_gb - 4.0).abs() < 1e-9);
+        }
+        assert_eq!(report.unattributed_cpu, Dur::ZERO);
+    }
+
+    #[test]
+    fn level1_splits_proportionally() {
+        let spec = DeploymentSpec::mts(
+            SecurityLevel::Level1,
+            DatapathKind::Kernel,
+            ResourceMode::Isolated,
+            Scenario::P2v,
+        );
+        let w = run(spec);
+        let report = bill(&w);
+        for t in &report.tenants {
+            assert!(!t.cpu_exact, "shared compartment splits proportionally");
+            assert!(t.vswitch_cpu > Dur::ZERO);
+        }
+        // Proportional split conserves the compartment's total.
+        let user_total: Dur = w
+            .cores
+            .iter()
+            .map(|c| c.busy_for(0x1000))
+            .fold(Dur::ZERO, |a, b| a + b);
+        let billed = report.total_cpu();
+        let diff = user_total.saturating_sub(billed).max(billed.saturating_sub(user_total));
+        assert!(
+            diff < Dur::micros(1),
+            "split must conserve: {user_total} vs {billed}"
+        );
+    }
+
+    #[test]
+    fn baseline_cpu_is_unattributable() {
+        let spec = DeploymentSpec::baseline(
+            DatapathKind::Kernel,
+            ResourceMode::Shared,
+            1,
+            Scenario::P2v,
+        );
+        let w = run(spec);
+        let report = bill(&w);
+        assert!(report.unattributed_cpu > Dur::ZERO);
+        assert!(report.tenants.iter().all(|t| t.vswitch_cpu == Dur::ZERO));
+        // But flow-rule I/O is still attributable.
+        assert!(report.tenants.iter().all(|t| t.packets > 0));
+        assert!(report.total_packets() > 0);
+    }
+
+    #[test]
+    fn report_renders() {
+        let spec = DeploymentSpec::mts(
+            SecurityLevel::Level2 { compartments: 2 },
+            DatapathKind::Kernel,
+            ResourceMode::Shared,
+            Scenario::P2v,
+        );
+        let w = run(spec);
+        let text = format!("{}", bill(&w));
+        assert!(text.contains("tenant"));
+        assert!(text.contains("unattributed"));
+    }
+}

@@ -1,0 +1,841 @@
+//! The logically-centralized controller.
+//!
+//! Builds a [`Deployment`] from a [`DeploymentSpec`]: creates and
+//! configures the SR-IOV NIC (VFs, VST VLAN tags, MAC anti-spoofing,
+//! wildcard security filters), instantiates the vswitches (one per
+//! compartment, or the single co-located Baseline switch), and installs the
+//! ingress/egress chain flow rules of Fig. 3 for the chosen traffic
+//! scenario. Sec. 3.2 "System support" lists exactly these duties: "modify
+//! the centralized controllers to appropriately configure tenant specific
+//! VFs with Vlan tags and MAC addresses, and insert correct flow rules to
+//! ensure the vswitch-tenant connectivity".
+
+use crate::spec::{DeploymentSpec, Scenario, SecurityLevel};
+use crate::vfplan::AddressPlan;
+use mts_net::MacAddr;
+use mts_nic::{FilterRule, NicError, NicModel, PfId, PortClass, SriovNic, VfConfig, VfId};
+use mts_vswitch::{
+    Action, DatapathCosts, FlowMatch, FlowRule, PortKind, PortNo, VirtualSwitch,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What backs a vswitch port in the runtime.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PortAttach {
+    /// An SR-IOV VF (MTS vswitch-VM port).
+    Vf(PfId, VfId),
+    /// Direct PF attachment (Baseline physical port).
+    Pf(PfId),
+    /// A vhost channel to a tenant VM (Baseline), with a side index (the
+    /// tenant's first or second virtio NIC).
+    Vhost(u8, u8),
+}
+
+/// One vswitch instance plus its port map.
+pub struct VswitchInstance {
+    /// Compartment index (0 for the Baseline's single switch).
+    pub index: u8,
+    /// The switch.
+    pub sw: VirtualSwitch,
+    /// In/Out ports per physical port index (MTS).
+    pub in_out: Vec<PortNo>,
+    /// Gateway ports: `(tenant, physical port) -> port` (MTS).
+    pub gw: HashMap<(u8, u8), PortNo>,
+    /// Physical ports per physical port index (Baseline).
+    pub phys: Vec<PortNo>,
+    /// Vhost ports: `(tenant, side) -> port` (Baseline).
+    pub vhost: HashMap<(u8, u8), PortNo>,
+    /// Attachment of every port.
+    pub attach: HashMap<PortNo, PortAttach>,
+    /// Proxy-ARP table: gateway IPs this vswitch answers ARP requests for
+    /// (the paper's alternative to static tenant ARP entries, Sec. 3.2).
+    pub proxy_arp: Vec<(std::net::Ipv4Addr, MacAddr)>,
+}
+
+/// A fully-configured deployment, ready for the runtime.
+pub struct Deployment {
+    /// The specification it was built from.
+    pub spec: DeploymentSpec,
+    /// Number of physical NIC ports in use (2 for Sec. 4, 1 for Sec. 5).
+    pub ports: u8,
+    /// The address plan.
+    pub plan: AddressPlan,
+    /// The configured NIC.
+    pub nic: SriovNic,
+    /// The vswitches (one for Baseline/Level-1, several for Level-2).
+    pub vswitches: Vec<VswitchInstance>,
+    /// Datapath cost model in effect.
+    pub costs: DatapathCosts,
+}
+
+/// Errors while building a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// NIC configuration failed.
+    Nic(NicError),
+    /// The scenario is not supported by the configuration (the paper could
+    /// not run v2v with 4 vswitch VMs either).
+    Unsupported(String),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Nic(e) => write!(f, "NIC configuration: {e}"),
+            DeployError::Unsupported(s) => write!(f, "unsupported configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<NicError> for DeployError {
+    fn from(e: NicError) -> Self {
+        DeployError::Nic(e)
+    }
+}
+
+/// The centralized controller.
+pub struct Controller;
+
+impl Controller {
+    /// Builds and fully configures a deployment for the UDP forwarding
+    /// experiments (Sec. 4): dual-port, scenario rules installed.
+    pub fn deploy(spec: DeploymentSpec) -> Result<Deployment, DeployError> {
+        let mut d = Self::build(spec, 2)?;
+        Self::install_scenario_rules(&mut d)?;
+        Ok(d)
+    }
+
+    /// Builds and configures a deployment for the TCP workload experiments
+    /// (Sec. 5): single-port, server rules installed.
+    pub fn deploy_workload(spec: DeploymentSpec) -> Result<Deployment, DeployError> {
+        let mut d = Self::build(spec, 1)?;
+        Self::install_workload_rules(&mut d)?;
+        Ok(d)
+    }
+
+    /// Builds the NIC and vswitches without flow rules.
+    pub fn build(spec: DeploymentSpec, ports: u8) -> Result<Deployment, DeployError> {
+        let ports = ports.max(1);
+        let plan = AddressPlan::build(&spec, ports);
+        let mut nic = SriovNic::new(ports, NicModel::default());
+        let costs = DatapathCosts::for_kind(spec.datapath);
+
+        // External MACs are reachable via the wire on every PF.
+        for p in 0..ports {
+            let sw = nic.pf_mut(PfId(p))?;
+            sw.install_static_mac(0, plan.lg_mac, mts_nic::NicPort::Wire);
+            sw.install_static_mac(0, plan.sink_mac, mts_nic::NicPort::Wire);
+        }
+
+        // The host PF is addressable on every port (management plane); in
+        // MTS a wildcard filter stops any VF from reaching it — "to prevent
+        // the Host from receiving packets from the tenant VMs" (Sec. 3.2).
+        for p in 0..ports {
+            let pf_mac = Self::baseline_router_mac(p);
+            let sw = nic.pf_mut(PfId(p))?;
+            sw.install_static_mac(0, pf_mac, mts_nic::NicPort::Pf);
+            if spec.level.compartmentalized() {
+                sw.add_filter(FilterRule {
+                    priority: 50,
+                    from: PortClass::AnyVf,
+                    src_mac: None,
+                    dst_mac: Some(pf_mac),
+                    vlan: None,
+                    ethertype: None,
+                    action: mts_nic::FilterAction::Drop,
+                });
+            }
+        }
+
+        let mut vswitches = Vec::new();
+        if spec.level.compartmentalized() {
+            Self::configure_nic_mts(&spec, &plan, &mut nic)?;
+            for c in &plan.compartments {
+                let mut sw = VirtualSwitch::new(format!("vswitch-vm{}", c.index));
+                let mut inst = VswitchInstance {
+                    index: c.index,
+                    sw: VirtualSwitch::new("placeholder"),
+                    in_out: Vec::new(),
+                    gw: HashMap::new(),
+                    phys: Vec::new(),
+                    vhost: HashMap::new(),
+                    attach: HashMap::new(),
+                    proxy_arp: Vec::new(),
+                };
+                // The compartment answers ARP for its tenants' gateways.
+                for t in spec.tenants_of_compartment(c.index) {
+                    let ta = &plan.tenants[t as usize];
+                    if let Some((_, gw_mac)) = c.gw_for(t, 0) {
+                        inst.proxy_arp.push((ta.gw_ip, gw_mac));
+                    }
+                }
+                for (p, (vf, _mac)) in c.in_out.iter().enumerate() {
+                    let port = sw.add_port(format!("in_out{p}"), PortKind::VfBacked);
+                    inst.in_out.push(port);
+                    inst.attach.insert(port, PortAttach::Vf(vf.pf, vf.vf));
+                }
+                for ((t, p), (vf, _mac)) in &c.gw {
+                    let port = sw.add_port(format!("gw-t{t}-p{p}"), PortKind::VfBacked);
+                    inst.gw.insert((*t, *p), port);
+                    inst.attach.insert(port, PortAttach::Vf(vf.pf, vf.vf));
+                }
+                inst.sw = sw;
+                vswitches.push(inst);
+            }
+        } else {
+            // Baseline: one switch, PF-attached, vhost tenant ports.
+            let mut sw = VirtualSwitch::new("br-int");
+            let mut inst = VswitchInstance {
+                index: 0,
+                sw: VirtualSwitch::new("placeholder"),
+                in_out: Vec::new(),
+                gw: HashMap::new(),
+                phys: Vec::new(),
+                vhost: HashMap::new(),
+                attach: HashMap::new(),
+                proxy_arp: Vec::new(),
+            };
+            for p in 0..ports {
+                let port = sw.add_port(format!("phy{p}"), PortKind::Physical);
+                inst.phys.push(port);
+                inst.attach.insert(port, PortAttach::Pf(PfId(p)));
+            }
+            let vhost_kind = match spec.datapath {
+                mts_vswitch::DatapathKind::Kernel => PortKind::Vhost,
+                mts_vswitch::DatapathKind::Dpdk => PortKind::DpdkVhostUser,
+            };
+            // Tenant VMs always have two virtio NICs bridged inside the
+            // guest, even when the server uses a single physical port.
+            let sides = 2;
+            for t in 0..spec.tenants {
+                for side in 0..sides {
+                    let port = sw.add_port(format!("vhost-t{t}-{side}"), vhost_kind);
+                    inst.vhost.insert((t, side), port);
+                    inst.attach.insert(port, PortAttach::Vhost(t, side));
+                }
+            }
+            // The PF carries untagged traffic; give it the LG-facing MAC so
+            // the NIC delivers wire traffic to the host switch.
+            for p in 0..ports {
+                nic.pf_mut(PfId(p))?.install_static_mac(
+                    0,
+                    Self::baseline_router_mac(p),
+                    mts_nic::NicPort::Pf,
+                );
+            }
+            inst.sw = sw;
+            vswitches.push(inst);
+        }
+
+        Ok(Deployment {
+            spec,
+            ports,
+            plan,
+            nic,
+            vswitches,
+            costs,
+        })
+    }
+
+    /// The MAC the load generator addresses Baseline traffic to (the host
+    /// PF's address on physical port `p`).
+    pub fn baseline_router_mac(p: u8) -> MacAddr {
+        MacAddr::local(0x0500_0000 | u32::from(p))
+    }
+
+    /// Configures VFs, VLANs, anti-spoofing and wildcard filters for MTS.
+    fn configure_nic_mts(
+        spec: &DeploymentSpec,
+        plan: &AddressPlan,
+        nic: &mut SriovNic,
+    ) -> Result<(), DeployError> {
+        // In/Out VFs: untagged infrastructure VFs of each compartment.
+        for c in &plan.compartments {
+            for (vf, mac) in &c.in_out {
+                nic.create_vf(vf.pf, vf.vf, VfConfig::infrastructure(*mac))?;
+            }
+            for ((t, _p), (vf, mac)) in &c.gw {
+                let vlan = plan.tenants[*t as usize].vlan;
+                nic.create_vf(vf.pf, vf.vf, VfConfig::gateway(*mac, vlan))?;
+            }
+        }
+        // Tenant VM VFs: tagged, spoof-checked.
+        for t in &plan.tenants {
+            for (vf, mac) in &t.vf {
+                nic.create_vf(vf.pf, vf.vf, VfConfig::tenant(*mac, t.vlan))?;
+            }
+        }
+        // Wildcard filters (Sec. 3.2): tenant VFs may only talk to their
+        // gateway (or broadcast for ARP); everything else from them drops.
+        for t in &plan.tenants {
+            let comp = &plan.compartments[spec.compartment_of_tenant(t.index) as usize];
+            for (p, (vf, _mac)) in t.vf.iter().enumerate() {
+                let sw = nic.pf_mut(vf.pf)?;
+                if let Some((_, gw_mac)) = comp.gw_for(t.index, p as u8) {
+                    sw.add_filter(FilterRule::allow_to(PortClass::Vf(vf.vf), gw_mac, 10));
+                }
+                sw.add_filter(FilterRule::allow_to(
+                    PortClass::Vf(vf.vf),
+                    MacAddr::BROADCAST,
+                    5,
+                ));
+                sw.add_filter(FilterRule::drop_all_from(PortClass::Vf(vf.vf)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs the forwarding rules for the spec's traffic scenario
+    /// (dual-port Sec. 4 layouts).
+    pub fn install_scenario_rules(d: &mut Deployment) -> Result<(), DeployError> {
+        if d.ports < 2 {
+            return Err(DeployError::Unsupported(
+                "scenario rules need two physical ports".into(),
+            ));
+        }
+        match (d.spec.level, d.spec.scenario) {
+            (SecurityLevel::Baseline, Scenario::P2p) => Self::rules_baseline_p2p(d),
+            (SecurityLevel::Baseline, Scenario::P2v) => Self::rules_baseline_p2v(d),
+            (SecurityLevel::Baseline, Scenario::V2v) => Self::rules_baseline_v2v(d),
+            (_, Scenario::P2p) => Self::rules_mts_p2p(d),
+            (_, Scenario::P2v) => Self::rules_mts_p2v(d),
+            (_, Scenario::V2v) => Self::rules_mts_v2v(d),
+        }
+    }
+
+    fn rules_baseline_p2p(d: &mut Deployment) -> Result<(), DeployError> {
+        let (sink, lg) = (d.plan.sink_mac, d.plan.lg_mac);
+        let inst = &mut d.vswitches[0];
+        let (p0, p1) = (inst.phys[0], inst.phys[1]);
+        inst.sw
+            .install(
+                0,
+                FlowRule::new(
+                    10,
+                    FlowMatch::on_port(p0),
+                    vec![Action::SetEthDst(sink), Action::Output(p1)],
+                ),
+            )
+            .expect("table 0 exists");
+        inst.sw
+            .install(
+                0,
+                FlowRule::new(
+                    10,
+                    FlowMatch::on_port(p1),
+                    vec![Action::SetEthDst(lg), Action::Output(p0)],
+                ),
+            )
+            .expect("table 0 exists");
+        Ok(())
+    }
+
+    fn rules_baseline_p2v(d: &mut Deployment) -> Result<(), DeployError> {
+        let tenants: Vec<_> = d.plan.tenants.clone();
+        let inst = &mut d.vswitches[0];
+        let (p0, p1) = (inst.phys[0], inst.phys[1]);
+        for t in &tenants {
+            let va = inst.vhost[&(t.index, 0)];
+            let vb = inst.vhost[&(t.index, 1)];
+            let cookie = u64::from(t.index) + 1;
+            inst.sw
+                .install(
+                    0,
+                    FlowRule::new(
+                        20,
+                        FlowMatch::to_ip(t.ip).and_port(p0),
+                        vec![Action::Output(va)],
+                    )
+                    .with_cookie(cookie),
+                )
+                .expect("table 0 exists");
+            inst.sw
+                .install(
+                    0,
+                    FlowRule::new(
+                        20,
+                        FlowMatch::to_ip(t.ip).and_port(vb),
+                        vec![Action::SetEthDst(d.plan.sink_mac), Action::Output(p1)],
+                    )
+                    .with_cookie(cookie),
+                )
+                .expect("table 0 exists");
+        }
+        Ok(())
+    }
+
+    fn rules_baseline_v2v(d: &mut Deployment) -> Result<(), DeployError> {
+        let pairs = Self::v2v_pairs(&d.spec)?;
+        let tenants: Vec<_> = d.plan.tenants.clone();
+        let sink = d.plan.sink_mac;
+        let inst = &mut d.vswitches[0];
+        let (p0, p1) = (inst.phys[0], inst.phys[1]);
+        for t in &tenants {
+            let partner = pairs[&t.index];
+            let t_a = inst.vhost[&(t.index, 0)];
+            let t_b = inst.vhost[&(t.index, 1)];
+            let q_a = inst.vhost[&(partner, 0)];
+            let q_b = inst.vhost[&(partner, 1)];
+            let _ = q_a;
+            // Wire -> first tenant.
+            inst.sw
+                .install(
+                    0,
+                    FlowRule::new(
+                        20,
+                        FlowMatch::to_ip(t.ip).and_port(p0),
+                        vec![Action::Output(t_a)],
+                    ),
+                )
+                .expect("table 0 exists");
+            // First tenant's far side -> partner tenant.
+            inst.sw
+                .install(
+                    0,
+                    FlowRule::new(
+                        20,
+                        FlowMatch::to_ip(t.ip).and_port(t_b),
+                        vec![Action::Output(q_b)],
+                    ),
+                )
+                .expect("table 0 exists");
+            // Partner tenant's near side -> out.
+            inst.sw
+                .install(
+                    0,
+                    FlowRule::new(
+                        20,
+                        FlowMatch::to_ip(t.ip).and_port(q_a),
+                        vec![Action::SetEthDst(sink), Action::Output(p1)],
+                    ),
+                )
+                .expect("table 0 exists");
+        }
+        Ok(())
+    }
+
+    fn rules_mts_p2p(d: &mut Deployment) -> Result<(), DeployError> {
+        let (sink, lg) = (d.plan.sink_mac, d.plan.lg_mac);
+        for inst in &mut d.vswitches {
+            let (i0, i1) = (inst.in_out[0], inst.in_out[1]);
+            inst.sw
+                .install(
+                    0,
+                    FlowRule::new(
+                        10,
+                        FlowMatch::on_port(i0),
+                        vec![Action::SetEthDst(sink), Action::Output(i1)],
+                    ),
+                )
+                .expect("table 0 exists");
+            inst.sw
+                .install(
+                    0,
+                    FlowRule::new(
+                        10,
+                        FlowMatch::on_port(i1),
+                        vec![Action::SetEthDst(lg), Action::Output(i0)],
+                    ),
+                )
+                .expect("table 0 exists");
+        }
+        Ok(())
+    }
+
+    fn rules_mts_p2v(d: &mut Deployment) -> Result<(), DeployError> {
+        let spec = d.spec;
+        let plan = d.plan.clone();
+        for inst in &mut d.vswitches {
+            let comp = &plan.compartments[inst.index as usize];
+            let i0 = inst.in_out[0];
+            let i1 = inst.in_out[1];
+            for t in spec.tenants_of_compartment(inst.index) {
+                let ta = &plan.tenants[t as usize];
+                let (_, t_mac0) = ta.vf[0];
+                let cookie = u64::from(t) + 1;
+                // Ingress chain (Fig. 3a): rewrite to the tenant VF's MAC
+                // and emit on the tenant's gateway port.
+                inst.sw
+                    .install(
+                        0,
+                        FlowRule::new(
+                            20,
+                            FlowMatch::to_ip(ta.ip).and_port(i0),
+                            vec![Action::SetEthDst(t_mac0), Action::Output(inst.gw[&(t, 0)])],
+                        )
+                        .with_cookie(cookie),
+                    )
+                    .expect("table 0 exists");
+                // Egress chain (Fig. 3b): from the far-side gateway port,
+                // rewrite to the external gateway/sink and emit In/Out.
+                inst.sw
+                    .install(
+                        0,
+                        FlowRule::new(
+                            20,
+                            FlowMatch::to_ip(ta.ip).and_port(inst.gw[&(t, 1)]),
+                            vec![Action::SetEthDst(plan.sink_mac), Action::Output(i1)],
+                        )
+                        .with_cookie(cookie),
+                    )
+                    .expect("table 0 exists");
+                let _ = comp;
+            }
+        }
+        Ok(())
+    }
+
+    fn rules_mts_v2v(d: &mut Deployment) -> Result<(), DeployError> {
+        let pairs = Self::v2v_pairs(&d.spec)?;
+        let spec = d.spec;
+        let plan = d.plan.clone();
+        for inst in &mut d.vswitches {
+            let i0 = inst.in_out[0];
+            let i1 = inst.in_out[1];
+            for t in spec.tenants_of_compartment(inst.index) {
+                let ta = &plan.tenants[t as usize];
+                let partner = pairs[&t];
+                let pa = &plan.tenants[partner as usize];
+                let (_, t_mac0) = ta.vf[0];
+                let (_, p_mac1) = pa.vf[1];
+                // Wire -> first tenant (port-0 side).
+                inst.sw
+                    .install(
+                        0,
+                        FlowRule::new(
+                            20,
+                            FlowMatch::to_ip(ta.ip).and_port(i0),
+                            vec![Action::SetEthDst(t_mac0), Action::Output(inst.gw[&(t, 0)])],
+                        ),
+                    )
+                    .expect("table 0 exists");
+                // Back from the first tenant (port-1 side) -> partner
+                // tenant (port-1 side).
+                inst.sw
+                    .install(
+                        0,
+                        FlowRule::new(
+                            20,
+                            FlowMatch::to_ip(ta.ip).and_port(inst.gw[&(t, 1)]),
+                            vec![
+                                Action::SetEthDst(p_mac1),
+                                Action::Output(inst.gw[&(partner, 1)]),
+                            ],
+                        ),
+                    )
+                    .expect("table 0 exists");
+                // Back from the partner (port-0 side) -> out.
+                inst.sw
+                    .install(
+                        0,
+                        FlowRule::new(
+                            20,
+                            FlowMatch::to_ip(ta.ip).and_port(inst.gw[&(partner, 0)]),
+                            vec![Action::SetEthDst(plan.sink_mac), Action::Output(i1)],
+                        ),
+                    )
+                    .expect("table 0 exists");
+            }
+        }
+        Ok(())
+    }
+
+    /// Pairs each tenant with a chain partner inside its compartment.
+    ///
+    /// Level-2 with 4 compartments has singleton compartments: like the
+    /// paper ("we could not evaluate 4 vswitch VMs in the v2v topology"),
+    /// this is unsupported.
+    pub fn v2v_pairs(spec: &DeploymentSpec) -> Result<HashMap<u8, u8>, DeployError> {
+        let mut pairs = HashMap::new();
+        for c in 0..spec.compartments() {
+            let members = spec.tenants_of_compartment(c);
+            if members.len() < 2 || !members.len().is_multiple_of(2) {
+                return Err(DeployError::Unsupported(format!(
+                    "v2v needs tenant pairs per compartment; compartment {c} has {}",
+                    members.len()
+                )));
+            }
+            for pair in members.chunks(2) {
+                pairs.insert(pair[0], pair[1]);
+                pairs.insert(pair[1], pair[0]);
+            }
+        }
+        Ok(pairs)
+    }
+
+    /// Installs the Sec. 5 workload rules (single-port, TCP servers; in
+    /// v2v one tenant of each pair forwards with l2fwd).
+    pub fn install_workload_rules(d: &mut Deployment) -> Result<(), DeployError> {
+        let spec = d.spec;
+        let plan = d.plan.clone();
+        let v2v = spec.scenario == Scenario::V2v;
+        let pairs = if v2v { Some(Self::v2v_pairs(&spec)?) } else { None };
+        match spec.level {
+            SecurityLevel::Baseline => {
+                let inst = &mut d.vswitches[0];
+                let p0 = inst.phys[0];
+                for t in &plan.tenants {
+                    let va = inst.vhost[&(t.index, 0)];
+                    match pairs.as_ref().map(|p| p[&t.index]) {
+                        // v2v: traffic to a *server* tenant goes through
+                        // its forwarder partner first. Pairs are (fwd,
+                        // srv) = (even, odd) positions; route only server
+                        // IPs.
+                        Some(partner) if Self::is_v2v_server(&spec, t.index) => {
+                            let fa = inst.vhost[&(partner, 0)];
+                            let fb = inst.vhost[&(partner, 1)];
+                            inst.sw
+                                .install(
+                                    0,
+                                    FlowRule::new(
+                                        20,
+                                        FlowMatch::to_ip(t.ip).and_port(p0),
+                                        vec![Action::Output(fa)],
+                                    ),
+                                )
+                                .expect("table 0 exists");
+                            inst.sw
+                                .install(
+                                    0,
+                                    FlowRule::new(
+                                        20,
+                                        FlowMatch::to_ip(t.ip).and_port(fb),
+                                        vec![Action::Output(va)],
+                                    ),
+                                )
+                                .expect("table 0 exists");
+                        }
+                        Some(_) => {} // forwarder tenants host no service
+                        None => {
+                            inst.sw
+                                .install(
+                                    0,
+                                    FlowRule::new(
+                                        20,
+                                        FlowMatch::to_ip(t.ip).and_port(p0),
+                                        vec![Action::Output(va)],
+                                    ),
+                                )
+                                .expect("table 0 exists");
+                        }
+                    }
+                    // Replies to any external client go straight out.
+                    inst.sw
+                        .install(
+                            0,
+                            FlowRule::new(
+                                15,
+                                FlowMatch::on_port(va),
+                                vec![Action::SetEthDst(plan.lg_mac), Action::Output(p0)],
+                            ),
+                        )
+                        .expect("table 0 exists");
+                }
+            }
+            _ => {
+                for inst in &mut d.vswitches {
+                    let i0 = inst.in_out[0];
+                    for t in spec.tenants_of_compartment(inst.index) {
+                        let ta = &plan.tenants[t as usize];
+                        let (_, t_mac) = ta.vf[0];
+                        match pairs.as_ref().map(|p| p[&t]) {
+                            Some(partner) if Self::is_v2v_server(&spec, t) => {
+                                let fa = &plan.tenants[partner as usize];
+                                let (_, f_mac) = fa.vf[0];
+                                // LG -> forwarder.
+                                inst.sw
+                                    .install(
+                                        0,
+                                        FlowRule::new(
+                                            20,
+                                            FlowMatch::to_ip(ta.ip).and_port(i0),
+                                            vec![
+                                                Action::SetEthDst(f_mac),
+                                                Action::Output(inst.gw[&(partner, 0)]),
+                                            ],
+                                        ),
+                                    )
+                                    .expect("table 0 exists");
+                                // Forwarder -> server.
+                                inst.sw
+                                    .install(
+                                        0,
+                                        FlowRule::new(
+                                            20,
+                                            FlowMatch::to_ip(ta.ip)
+                                                .and_port(inst.gw[&(partner, 0)]),
+                                            vec![
+                                                Action::SetEthDst(t_mac),
+                                                Action::Output(inst.gw[&(t, 0)]),
+                                            ],
+                                        ),
+                                    )
+                                    .expect("table 0 exists");
+                            }
+                            Some(_) => {}
+                            None => {
+                                inst.sw
+                                    .install(
+                                        0,
+                                        FlowRule::new(
+                                            20,
+                                            FlowMatch::to_ip(ta.ip).and_port(i0),
+                                            vec![
+                                                Action::SetEthDst(t_mac),
+                                                Action::Output(inst.gw[&(t, 0)]),
+                                            ],
+                                        ),
+                                    )
+                                    .expect("table 0 exists");
+                            }
+                        }
+                        // Replies to any external client.
+                        inst.sw
+                            .install(
+                                0,
+                                FlowRule::new(
+                                    15,
+                                    FlowMatch::on_port(inst.gw[&(t, 0)]),
+                                    vec![Action::SetEthDst(plan.lg_mac), Action::Output(i0)],
+                                ),
+                            )
+                            .expect("table 0 exists");
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// In v2v workloads, the second tenant of each pair runs the server
+    /// (the first forwards with l2fwd).
+    pub fn is_v2v_server(spec: &DeploymentSpec, tenant: u8) -> bool {
+        let c = spec.compartment_of_tenant(tenant);
+        let members = spec.tenants_of_compartment(c);
+        members
+            .iter()
+            .position(|m| *m == tenant)
+            .is_some_and(|i| i % 2 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mts_host::ResourceMode;
+    use mts_vswitch::DatapathKind;
+
+    fn spec(level: SecurityLevel, scenario: Scenario) -> DeploymentSpec {
+        DeploymentSpec::mts(level, DatapathKind::Kernel, ResourceMode::Shared, scenario)
+    }
+
+    #[test]
+    fn mts_l1_p2v_deploys() {
+        let d = Controller::deploy(spec(SecurityLevel::Level1, Scenario::P2v)).unwrap();
+        assert_eq!(d.vswitches.len(), 1);
+        let inst = &d.vswitches[0];
+        // 2 In/Out + 4 tenants x 2 gw ports.
+        assert_eq!(inst.sw.port_count(), 2 + 8);
+        // 2 rules per tenant.
+        assert_eq!(inst.sw.rule_count(), 8);
+        // NIC has the full VF population: (1 in/out + 4 gw + 4 tenant) x 2.
+        let vfs: usize = (0..2)
+            .map(|p| d.nic.pf(PfId(p)).unwrap().vf_count())
+            .sum();
+        assert_eq!(vfs, 18);
+    }
+
+    #[test]
+    fn baseline_p2v_uses_vhost_ports() {
+        let d = Controller::deploy(DeploymentSpec::baseline(
+            DatapathKind::Kernel,
+            ResourceMode::Shared,
+            1,
+            Scenario::P2v,
+        ))
+        .unwrap();
+        let inst = &d.vswitches[0];
+        assert_eq!(inst.phys.len(), 2);
+        assert_eq!(inst.vhost.len(), 8);
+        assert_eq!(
+            d.nic.pf(PfId(0)).unwrap().vf_count(),
+            0,
+            "Baseline allocates no VFs"
+        );
+    }
+
+    #[test]
+    fn level2_splits_tenants_across_switches() {
+        let d = Controller::deploy(spec(
+            SecurityLevel::Level2 { compartments: 2 },
+            Scenario::P2v,
+        ))
+        .unwrap();
+        assert_eq!(d.vswitches.len(), 2);
+        // Each compartment: 2 in/out + 2 tenants x 2 gw.
+        for inst in &d.vswitches {
+            assert_eq!(inst.sw.port_count(), 6);
+            assert_eq!(inst.sw.rule_count(), 4);
+        }
+    }
+
+    #[test]
+    fn v2v_with_singleton_compartments_is_unsupported() {
+        let err = Controller::deploy(spec(
+            SecurityLevel::Level2 { compartments: 4 },
+            Scenario::V2v,
+        ));
+        assert!(matches!(err, Err(DeployError::Unsupported(_))));
+    }
+
+    #[test]
+    fn v2v_pairs_follow_compartments() {
+        let s = spec(SecurityLevel::Level2 { compartments: 2 }, Scenario::V2v);
+        let pairs = Controller::v2v_pairs(&s).unwrap();
+        // Compartment 0 = {0, 2}; compartment 1 = {1, 3}.
+        assert_eq!(pairs[&0], 2);
+        assert_eq!(pairs[&2], 0);
+        assert_eq!(pairs[&1], 3);
+        assert_eq!(pairs[&3], 1);
+        let l1 = spec(SecurityLevel::Level1, Scenario::V2v);
+        let pairs = Controller::v2v_pairs(&l1).unwrap();
+        assert_eq!(pairs[&0], 1);
+        assert_eq!(pairs[&2], 3);
+    }
+
+    #[test]
+    fn workload_deployment_is_single_port() {
+        let d = Controller::deploy_workload(spec(SecurityLevel::Level1, Scenario::P2v)).unwrap();
+        assert_eq!(d.ports, 1);
+        let inst = &d.vswitches[0];
+        // 1 in/out + 4 gw ports.
+        assert_eq!(inst.sw.port_count(), 5);
+        // Forward + reply rule per tenant.
+        assert_eq!(inst.sw.rule_count(), 8);
+    }
+
+    #[test]
+    fn workload_v2v_designates_servers() {
+        let s = spec(SecurityLevel::Level1, Scenario::V2v);
+        // L1 members [0,1,2,3]: servers are odd positions 1 and 3.
+        assert!(!Controller::is_v2v_server(&s, 0));
+        assert!(Controller::is_v2v_server(&s, 1));
+        assert!(!Controller::is_v2v_server(&s, 2));
+        assert!(Controller::is_v2v_server(&s, 3));
+        let d = Controller::deploy_workload(s).unwrap();
+        // Servers: 2 forward rules + reply; forwarders: reply only.
+        assert_eq!(d.vswitches[0].sw.rule_count(), 2 * 3 + 2);
+    }
+
+    #[test]
+    fn nic_filters_installed_for_tenants() {
+        let d = Controller::deploy(spec(SecurityLevel::Level1, Scenario::P2v)).unwrap();
+        // Each PF: 4 tenant VFs x 3 rules, plus the host-PF guard rule.
+        for p in 0..2u8 {
+            assert_eq!(d.nic.pf(PfId(p)).unwrap().filters().len(), 13);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The MTS architecture: security levels, deployment building, the
+//! controller, the measurement testbed and the security validation.
+//!
+//! This crate is the paper's primary contribution, implemented over the
+//! substrates in the sibling crates:
+//!
+//! - [`spec`] — security levels (Baseline / Level-1 / Level-2 / Level-3),
+//!   traffic scenarios (p2p / p2v / v2v), resource modes and the
+//!   [`spec::DeploymentSpec`] tying them together.
+//! - [`vfplan`] — VF, VLAN, MAC and IP allocation (paper Sec. 3.2,
+//!   including the VF-count arithmetic).
+//! - [`controller`] — the logically-centralized controller: programs the
+//!   SR-IOV NIC (VF configs, anti-spoofing, wildcard filters) and installs
+//!   the ingress/egress chain flow rules of Fig. 3 into each vswitch.
+//! - [`runtime`] — the packet-pipeline runtime binding vswitches, tenant
+//!   VMs, vhost channels and the NIC to simulated CPU cores and links.
+//! - [`testbed`] — the two-server measurement harness (load generator,
+//!   sink, passive tap) reproducing the Sec. 4 methodology.
+//! - [`workloads`] — the TCP workload harness reproducing Sec. 5 (iperf,
+//!   Apache/ApacheBench, Memcached/memslap).
+//! - [`attacks`] — attack scenarios validating the isolation properties of
+//!   each security level (Sec. 2.2/2.3).
+//! - [`billing`] — per-tenant CPU/memory/I/O accounting (Sec. 6).
+//! - [`overlay`] — VXLAN overlay rules and generators (Sec. 3.2).
+//! - [`perfiso`] — the noisy-neighbor performance-isolation experiment.
+//! - [`survey`] — the Table 1 vswitch design survey as queryable data.
+//! - [`results`] — measurement types, table formatting and CSV export.
+
+pub mod attacks;
+pub mod billing;
+pub mod overlay;
+pub mod perfiso;
+pub mod controller;
+pub mod results;
+pub mod runtime;
+pub mod spec;
+pub mod survey;
+pub mod tcphost;
+pub mod testbed;
+pub mod vfplan;
+pub mod workloads;
+
+pub use attacks::{Attack, AttackOutcome, IsolationReport};
+pub use billing::{bill, BillingReport, TenantBill};
+pub use controller::Controller;
+pub use overlay::OverlayConfig;
+pub use perfiso::{noisy_neighbor, NoisyNeighborResult, NoisyOpts};
+pub use results::{LatencySummary, Measurement, ThroughputReport};
+pub use spec::{DeploymentSpec, ResourceMode, Scenario, SecurityLevel};
+pub use testbed::Testbed;
+pub use vfplan::{AddressPlan, VfBudget};
+pub use workloads::{Workload, WorkloadResult};

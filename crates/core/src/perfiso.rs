@@ -1,0 +1,243 @@
+//! Performance isolation: the noisy-neighbor experiment.
+//!
+//! The paper motivates MTS partly with *performance* isolation failures of
+//! the shared vswitch — Csikor et al.'s cross-tenant denial-of-service
+//! ("Policy injection: a cloud dataplane DoS attack", the paper's ref. 15)
+//! shows
+//! one tenant degrading everyone through the shared datapath. This module
+//! quantifies the effect: a victim tenant is probed at low rate while an
+//! attacker tenant floods, and the victim's latency/loss is compared to its
+//! quiet baseline.
+//!
+//! Expected shape: with the Baseline's single shared datapath the victim's
+//! latency explodes and it loses packets; with MTS Level-2 in the isolated
+//! mode the victim's vswitch compartment has its own core and the NIC
+//! schedules its VFs independently, so the victim barely notices.
+
+use crate::controller::{Controller, DeployError};
+use crate::runtime::{start_udp_generator, RuntimeCfg, Sim, World};
+use crate::spec::DeploymentSpec;
+#[cfg(test)]
+use crate::spec::SecurityLevel;
+use mts_net::MacAddr;
+use mts_sim::{Dur, Summary, Time};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Result of one noisy-neighbor comparison.
+#[derive(Clone, Debug, Serialize, Deserialize, Default)]
+pub struct NoisyNeighborResult {
+    /// Configuration label.
+    pub config: String,
+    /// Victim latency with no attacker (ns).
+    pub victim_quiet: Summary,
+    /// Victim latency while the attacker floods (ns).
+    pub victim_noisy: Summary,
+    /// Victim loss fraction while the attacker floods.
+    pub victim_loss: f64,
+    /// Attacker throughput achieved during the flood (packets/second).
+    pub attacker_pps: f64,
+}
+
+impl NoisyNeighborResult {
+    /// Latency amplification factor (noisy p50 over quiet p50).
+    pub fn amplification(&self) -> f64 {
+        if self.victim_quiet.p50 == 0 {
+            0.0
+        } else {
+            self.victim_noisy.p50 as f64 / self.victim_quiet.p50 as f64
+        }
+    }
+}
+
+/// Options for the experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct NoisyOpts {
+    /// Victim probe rate (packets/second).
+    pub victim_pps: f64,
+    /// Attacker flood rate (packets/second).
+    pub attacker_pps: f64,
+    /// Warm-up before measuring.
+    pub warmup: Dur,
+    /// Measurement window.
+    pub measure: Dur,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for NoisyOpts {
+    fn default() -> Self {
+        NoisyOpts {
+            victim_pps: 10_000.0,
+            attacker_pps: 14_000_000.0,
+            warmup: Dur::millis(12),
+            measure: Dur::millis(10),
+            seed: 1,
+        }
+    }
+}
+
+/// Runs the experiment: attacker is tenant 0, victim is tenant 1.
+///
+/// For a meaningful Level-2 comparison the two tenants must live in
+/// different compartments, which holds for the default modulo placement.
+pub fn noisy_neighbor(
+    spec: DeploymentSpec,
+    opts: NoisyOpts,
+) -> Result<NoisyNeighborResult, DeployError> {
+    let quiet = run_phase(spec, opts, false)?;
+    let noisy = run_phase(spec, opts, true)?;
+    Ok(NoisyNeighborResult {
+        config: spec.label(),
+        victim_quiet: quiet.0,
+        victim_noisy: noisy.0,
+        victim_loss: noisy.1,
+        attacker_pps: noisy.2,
+    })
+}
+
+fn flow_dmac(w: &World, tenant: u8) -> MacAddr {
+    if w.spec.level.compartmentalized() {
+        let c = w.spec.compartment_of_tenant(tenant) as usize;
+        w.plan.compartments[c].in_out[0].1
+    } else {
+        Controller::baseline_router_mac(0)
+    }
+}
+
+/// Runs one phase; returns (victim latency, victim loss, attacker pps).
+fn run_phase(
+    spec: DeploymentSpec,
+    opts: NoisyOpts,
+    with_attacker: bool,
+) -> Result<(Summary, f64, f64), DeployError> {
+    let d = Controller::deploy(spec)?;
+    let mut cfg = RuntimeCfg::for_spec(&spec);
+    cfg.offered_pps = if with_attacker {
+        opts.attacker_pps
+    } else {
+        opts.victim_pps
+    };
+    let mut w = World::new(d, cfg, opts.seed);
+    let mut e = Sim::new();
+    let start = Time::ZERO + opts.warmup;
+    let end = start + opts.measure;
+    w.sink.window = (start, end);
+
+    let victim: Vec<(MacAddr, Ipv4Addr)> = vec![(flow_dmac(&w, 1), w.plan.tenants[1].ip)];
+    start_udp_generator(&mut e, victim, opts.victim_pps, 64, end);
+    if with_attacker {
+        let attacker: Vec<(MacAddr, Ipv4Addr)> = vec![(flow_dmac(&w, 0), w.plan.tenants[0].ip)];
+        start_udp_generator(&mut e, attacker, opts.attacker_pps, 64, end);
+    }
+    e.run_until(&mut w, end + Dur::millis(30));
+    e.clear();
+
+    let victim_lat = w.sink.latency_by_flow[1].summary();
+    let victim_recv = w.sink.per_flow[1];
+    let victim_sent = (opts.victim_pps * opts.measure.as_secs_f64()) as u64;
+    let loss = 1.0 - (victim_recv as f64 / victim_sent.max(1) as f64).min(1.0);
+    let attacker_pps = w.sink.per_flow[0] as f64 / opts.measure.as_secs_f64();
+    Ok((victim_lat, loss, attacker_pps))
+}
+
+/// Renders a comparison table across configurations.
+pub fn render(results: &[NoisyNeighborResult]) -> String {
+    let mut out = String::from(
+        "== Noisy neighbor: victim p50 latency, quiet vs under attack ==\n",
+    );
+    out.push_str(&format!(
+        "{:<26} {:>12} {:>12} {:>8} {:>10}\n",
+        "config", "quiet us", "noisy us", "amp", "loss %"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<26} {:>12.1} {:>12.1} {:>7.1}x {:>9.2}\n",
+            r.config,
+            r.victim_quiet.p50 as f64 / 1e3,
+            r.victim_noisy.p50 as f64 / 1e3,
+            r.amplification(),
+            r.victim_loss * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Scenario;
+    use mts_host::ResourceMode;
+    use mts_vswitch::DatapathKind;
+
+    fn opts() -> NoisyOpts {
+        NoisyOpts {
+            victim_pps: 10_000.0,
+            attacker_pps: 2_000_000.0,
+            warmup: Dur::millis(12),
+            measure: Dur::millis(6),
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn baseline_victim_suffers_under_attack() {
+        let spec = DeploymentSpec::baseline(
+            DatapathKind::Kernel,
+            ResourceMode::Shared,
+            1,
+            Scenario::P2v,
+        );
+        let r = noisy_neighbor(spec, opts()).unwrap();
+        assert!(
+            r.amplification() > 5.0,
+            "baseline victim should suffer: {}x (quiet {} noisy {})",
+            r.amplification(),
+            r.victim_quiet.p50,
+            r.victim_noisy.p50
+        );
+        assert!(r.victim_loss > 0.2, "baseline victim loss {}", r.victim_loss);
+    }
+
+    #[test]
+    fn level2_isolated_protects_the_victim() {
+        let spec = DeploymentSpec::mts(
+            SecurityLevel::Level2 { compartments: 2 },
+            DatapathKind::Kernel,
+            ResourceMode::Isolated,
+            Scenario::P2v,
+        );
+        let r = noisy_neighbor(spec, opts()).unwrap();
+        assert!(
+            r.amplification() < 3.0,
+            "L2-isolated victim should be protected: {}x",
+            r.amplification()
+        );
+        assert!(r.victim_loss < 0.05, "victim loss {}", r.victim_loss);
+    }
+
+    #[test]
+    fn level2_shared_core_is_the_middle_ground() {
+        // Sharing the core means the victim's *latency* jitters, but its
+        // packets still flow (the vswitch compartments are separate).
+        let spec = DeploymentSpec::mts(
+            SecurityLevel::Level2 { compartments: 2 },
+            DatapathKind::Kernel,
+            ResourceMode::Shared,
+            Scenario::P2v,
+        );
+        let r = noisy_neighbor(spec, opts()).unwrap();
+        assert!(r.victim_loss < 0.6, "shared-core victim loss {}", r.victim_loss);
+    }
+
+    #[test]
+    fn render_lists_all_rows() {
+        let rows = vec![NoisyNeighborResult {
+            config: "x".into(),
+            ..NoisyNeighborResult::default()
+        }];
+        let t = render(&rows);
+        assert!(t.contains("Noisy neighbor"));
+        assert!(t.contains('x'));
+    }
+}

@@ -1,0 +1,220 @@
+//! Measurement result types, formatting and CSV export.
+
+use mts_sim::Summary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Latency distribution summary in nanoseconds.
+pub type LatencySummary = Summary;
+
+/// The outcome of one forwarding experiment run.
+#[derive(Clone, Debug, Serialize, Deserialize, Default)]
+pub struct Measurement {
+    /// Configuration label (e.g. `L2 (4 vswitch VMs)`).
+    pub config: String,
+    /// Scenario label (`p2p`, `p2v`, `v2v`).
+    pub scenario: String,
+    /// Offered load, packets per second (aggregate).
+    pub offered_pps: f64,
+    /// Measured aggregate receive rate, packets per second.
+    pub throughput_pps: f64,
+    /// Packets sent within the measurement window.
+    pub sent: u64,
+    /// Packets received within the measurement window.
+    pub received: u64,
+    /// One-way latency distribution (ns).
+    pub latency: LatencySummary,
+    /// Per-flow receive counts (flow = tenant index).
+    pub per_flow: Vec<u64>,
+    /// Drops attributed to causes (ring overflow, hairpin, filters...).
+    pub drops: BTreeMap<String, u64>,
+    /// Physical cores used (host + vswitching).
+    pub cores: u32,
+    /// 1 GB hugepages used.
+    pub hugepages: u32,
+}
+
+impl Measurement {
+    /// Loss fraction within the window.
+    pub fn loss(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            (1.0 - self.received as f64 / self.sent as f64).max(0.0)
+        }
+    }
+
+    /// Throughput in Mpps, as the paper's Fig. 5 reports.
+    pub fn mpps(&self) -> f64 {
+        self.throughput_pps / 1e6
+    }
+}
+
+/// A table of measurements for one figure panel.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Panel title (e.g. `Fig 5(a) throughput, shared mode`).
+    pub title: String,
+    /// Rows.
+    pub rows: Vec<Measurement>,
+}
+
+impl ThroughputReport {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        ThroughputReport {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Renders an aligned text table of throughput rows.
+    pub fn render_throughput(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        out.push_str(&format!(
+            "{:<26} {:>5}  {:>12} {:>9} {:>7}\n",
+            "config", "scen", "Mpps", "loss%", "cores"
+        ));
+        for m in &self.rows {
+            out.push_str(&format!(
+                "{:<26} {:>5}  {:>12.3} {:>9.2} {:>7}\n",
+                m.config,
+                m.scenario,
+                m.mpps(),
+                m.loss() * 100.0,
+                m.cores
+            ));
+        }
+        out
+    }
+
+    /// Renders an aligned text table of latency rows (µs).
+    pub fn render_latency(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        out.push_str(&format!(
+            "{:<26} {:>5}  {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "config", "scen", "p25 us", "p50 us", "p75 us", "p99 us", "mean us"
+        ));
+        for m in &self.rows {
+            out.push_str(&format!(
+                "{:<26} {:>5}  {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}\n",
+                m.config,
+                m.scenario,
+                m.latency.p25 as f64 / 1e3,
+                m.latency.p50 as f64 / 1e3,
+                m.latency.p75 as f64 / 1e3,
+                m.latency.p99 as f64 / 1e3,
+                m.latency.mean / 1e3,
+            ));
+        }
+        out
+    }
+
+    /// Renders a resources table (cores, hugepages).
+    pub fn render_resources(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        out.push_str(&format!(
+            "{:<26} {:>7} {:>10}\n",
+            "config", "cores", "hugepages"
+        ));
+        for m in &self.rows {
+            out.push_str(&format!(
+                "{:<26} {:>7} {:>10}\n",
+                m.config, m.cores, m.hugepages
+            ));
+        }
+        out
+    }
+
+    /// Serializes rows as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "config,scenario,offered_pps,throughput_pps,sent,received,loss,\
+             lat_p25_ns,lat_p50_ns,lat_p75_ns,lat_p99_ns,lat_mean_ns,cores,hugepages\n",
+        );
+        for m in &self.rows {
+            out.push_str(&format!(
+                "{},{},{:.0},{:.0},{},{},{:.6},{},{},{},{},{:.0},{},{}\n",
+                m.config.replace(',', ";"),
+                m.scenario,
+                m.offered_pps,
+                m.throughput_pps,
+                m.sent,
+                m.received,
+                m.loss(),
+                m.latency.p25,
+                m.latency.p50,
+                m.latency.p75,
+                m.latency.p99,
+                m.latency.mean,
+                m.cores,
+                m.hugepages
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Measurement {
+        Measurement {
+            config: "L1".into(),
+            scenario: "p2v".into(),
+            offered_pps: 14e6,
+            throughput_pps: 400_000.0,
+            sent: 1_400_000,
+            received: 40_000,
+            latency: Summary {
+                count: 100,
+                mean: 50_000.0,
+                min: 10_000,
+                p25: 30_000,
+                p50: 45_000,
+                p75: 60_000,
+                p90: 80_000,
+                p99: 120_000,
+                max: 150_000,
+            },
+            per_flow: vec![10_000; 4],
+            drops: BTreeMap::new(),
+            cores: 2,
+            hugepages: 2,
+        }
+    }
+
+    #[test]
+    fn loss_and_mpps() {
+        let m = sample();
+        assert!((m.mpps() - 0.4).abs() < 1e-9);
+        let expect = 1.0 - 40_000.0 / 1_400_000.0;
+        assert!((m.loss() - expect).abs() < 1e-12);
+        let empty = Measurement::default();
+        assert_eq!(empty.loss(), 0.0);
+    }
+
+    #[test]
+    fn renders_contain_key_fields() {
+        let mut r = ThroughputReport::new("Fig 5(a)");
+        r.rows.push(sample());
+        let t = r.render_throughput();
+        assert!(t.contains("Fig 5(a)"));
+        assert!(t.contains("0.400"));
+        let l = r.render_latency();
+        assert!(l.contains("45.0"));
+        let res = r.render_resources();
+        assert!(res.contains('2'));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_row_plus_header() {
+        let mut r = ThroughputReport::new("x");
+        r.rows.push(sample());
+        r.rows.push(sample());
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("config,"));
+    }
+}

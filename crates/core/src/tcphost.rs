@@ -1,0 +1,907 @@
+//! TCP endpoint hosting: connections + applications on simulated machines.
+//!
+//! A [`TcpHostRt`] is one TCP/IP endpoint — the load generator's benchmark
+//! clients or a tenant VM's server — wired into the [`World`]: its segments
+//! travel the same simulated datapath as everything else, and its per-
+//! segment CPU cost is charged to the owning VM's cores. Applications (the
+//! [`mts_apps::App`] implementations) interact through a buffered
+//! [`mts_apps::AppCtx`], so all side effects flow deterministically through
+//! the event engine.
+//!
+//! Per the paper's system support (Sec. 3.2), address resolution is static:
+//! each host is configured with routes mapping remote IPs to next-hop MACs
+//! (the tenant's Gw VF, or the compartment's In/Out VF from the LG side).
+
+use crate::runtime::{nic_rx, vswitch_rx, wire_inject, Sim, World};
+use mts_apps::{App, AppCtx, ConnId};
+use mts_net::{Frame, Ipv4Packet, MacAddr, Payload, TcpFlags, TcpSegment, Transport};
+use mts_nic::{NicPort, PfId, VfId};
+use mts_sim::{CoreId, DetRng, Dur, Histogram};
+#[cfg(test)]
+use mts_sim::Time;
+use mts_tcp::{Connection, Output, TcpConfig};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// How a host's frames reach the network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HostAttach {
+    /// External machine on the wire of a physical port (the LG).
+    Wire(PfId),
+    /// A tenant VM's SR-IOV VF (MTS).
+    Vf(PfId, VfId),
+    /// A tenant VM's vhost channel (Baseline), routed to the vswitch that
+    /// owns the `(tenant, side)` port.
+    Vhost(u8, u8),
+}
+
+/// Connection key: (local port, remote ip, remote port). The local IP is
+/// the host's own address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Quad {
+    /// Local TCP port.
+    pub lport: u16,
+    /// Remote IPv4 address.
+    pub rip: Ipv4Addr,
+    /// Remote TCP port.
+    pub rport: u16,
+}
+
+struct ConnRt {
+    conn: Connection,
+    id: ConnId,
+    timer_gen: u64,
+}
+
+/// One TCP/IP endpoint plus its application.
+pub struct TcpHostRt {
+    /// Host name (diagnostics).
+    pub name: String,
+    /// The host's IP address.
+    pub ip: Ipv4Addr,
+    /// The host's MAC address.
+    pub mac: MacAddr,
+    /// Attachment to the datapath.
+    pub attach: HostAttach,
+    /// Static routes: remote IP → next-hop MAC.
+    pub routes: Vec<(Ipv4Addr, MacAddr)>,
+    /// Next-hop MAC for unlisted destinations.
+    pub default_route: MacAddr,
+    /// Cores to charge (None: the LG, assumed unconstrained).
+    pub cores: Option<[CoreId; 2]>,
+    /// CPU cost per TCP segment processed or emitted.
+    pub per_segment: Dur,
+    /// TCP parameters.
+    pub tcp_cfg: TcpConfig,
+    /// Ports with listening applications.
+    pub listeners: HashSet<u16>,
+    /// Application latency samples (ns).
+    pub latencies: Histogram,
+    /// Application counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// When set (and `default_route` is unset), the host resolves its
+    /// gateway with real ARP — answered by the vswitch's proxy-ARP
+    /// responder (paper Sec. 3.2's alternative to static entries).
+    pub gw_ip: Option<Ipv4Addr>,
+    arp_pending: Vec<(Quad, TcpSegment)>,
+    arp_in_flight: bool,
+    app: Option<Box<dyn App>>,
+    conns: HashMap<Quad, ConnRt>,
+    by_id: HashMap<ConnId, Quad>,
+    next_conn: u64,
+    next_ephemeral: u16,
+    rng: DetRng,
+}
+
+impl TcpHostRt {
+    /// Creates a host; `seed_rng` drives ISS selection and app randomness.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        ip: Ipv4Addr,
+        mac: MacAddr,
+        attach: HostAttach,
+        cores: Option<[CoreId; 2]>,
+        app: Box<dyn App>,
+        seed_rng: DetRng,
+    ) -> TcpHostRt {
+        TcpHostRt {
+            name: name.into(),
+            ip,
+            mac,
+            attach,
+            routes: Vec::new(),
+            default_route: MacAddr::ZERO,
+            cores,
+            per_segment: Dur::nanos(1_500),
+            tcp_cfg: TcpConfig::default(),
+            listeners: HashSet::new(),
+            latencies: Histogram::new(),
+            counters: BTreeMap::new(),
+            gw_ip: None,
+            arp_pending: Vec::new(),
+            arp_in_flight: false,
+            app: Some(app),
+            conns: HashMap::new(),
+            by_id: HashMap::new(),
+            next_conn: 1,
+            next_ephemeral: 32768,
+            rng: seed_rng,
+        }
+    }
+
+    /// Adds a static route.
+    pub fn add_route(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.routes.push((ip, mac));
+    }
+
+    /// Resolves the next-hop MAC for a destination.
+    pub fn route(&self, ip: Ipv4Addr) -> MacAddr {
+        self.routes
+            .iter()
+            .find(|(r, _)| *r == ip)
+            .map(|(_, m)| *m)
+            .unwrap_or(self.default_route)
+    }
+
+    /// A counter value.
+    pub fn counter(&self, what: &str) -> u64 {
+        self.counters.get(what).copied().unwrap_or(0)
+    }
+
+    /// Number of live connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn alloc_conn_id(&mut self) -> ConnId {
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        id
+    }
+
+    fn alloc_ephemeral(&mut self) -> u16 {
+        // Skip ports already in use; wraps within the ephemeral range.
+        for _ in 0..30000 {
+            let p = self.next_ephemeral;
+            self.next_ephemeral = if p >= 65500 { 32768 } else { p + 1 };
+            if !self.conns.keys().any(|q| q.lport == p) {
+                return p;
+            }
+        }
+        32768
+    }
+}
+
+/// Buffered application context: side effects are queued and drained by the
+/// runtime after the app callback returns.
+struct CtxBuf {
+    cmds: Vec<Cmd>,
+    latencies: Vec<u64>,
+    counts: Vec<(&'static str, u64)>,
+    cpu: Dur,
+    rng: DetRng,
+    next_conn: u64,
+}
+
+enum Cmd {
+    Send(ConnId, u64),
+    Close(ConnId),
+    Connect(ConnId, Ipv4Addr, u16),
+}
+
+impl AppCtx for CtxBuf {
+    fn send(&mut self, conn: ConnId, bytes: u64) {
+        self.cmds.push(Cmd::Send(conn, bytes));
+    }
+    fn close(&mut self, conn: ConnId) {
+        self.cmds.push(Cmd::Close(conn));
+    }
+    fn connect(&mut self, remote: Ipv4Addr, port: u16) -> ConnId {
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        self.cmds.push(Cmd::Connect(id, remote, port));
+        id
+    }
+    fn record_latency(&mut self, ns: u64) {
+        self.latencies.push(ns);
+    }
+    fn count(&mut self, what: &'static str, n: u64) {
+        self.counts.push((what, n));
+    }
+    fn consume_cpu(&mut self, cost: Dur) {
+        self.cpu += cost;
+    }
+    fn random(&mut self) -> f64 {
+        self.rng.unit()
+    }
+}
+
+/// An application-visible event.
+enum AppEvent {
+    Started,
+    Connected(ConnId),
+    Data(ConnId, u64),
+    Closed(ConnId),
+}
+
+/// Boots host `h`: starts its application.
+pub fn host_start(w: &mut World, e: &mut Sim, h: usize) {
+    run_app_events_then_emit(w, e, h, vec![AppEvent::Started], Vec::new());
+}
+
+/// A frame arrives at host `h` (already delivered to its NIC/VF).
+pub fn host_rx(w: &mut World, e: &mut Sim, h: usize, frame: Frame) {
+    let now = e.now();
+    let Some(host) = w.hosts.get_mut(h) else {
+        w.drop_frame("no-such-host");
+        return;
+    };
+    // Charge the per-segment receive cost (GRO-amortized for bulk data),
+    // then process at grant end.
+    match host.cores {
+        Some(cores) => {
+            let core = cores[(frame.flow_hash() % 2) as usize];
+            let cost = host.per_segment / crate::runtime::tso_factor(&frame);
+            let grant = w
+                .cores
+                .get_mut(core)
+                .expect("host core exists")
+                .acquire(now, 0x3000 + h as u64, cost);
+            e.schedule_at(grant.end, move |w, e| host_exec(w, e, h, frame));
+        }
+        None => host_exec(w, e, h, frame),
+    }
+}
+
+/// Finds the host for an externally-delivered frame by destination IP.
+pub fn external_host_rx(w: &mut World, e: &mut Sim, h_default: usize, frame: Frame) {
+    let dst = frame.dst_ip();
+    let h = dst
+        .and_then(|ip| {
+            w.hosts
+                .iter()
+                .position(|host| host.ip == ip && matches!(host.attach, HostAttach::Wire(_)))
+        })
+        .unwrap_or(h_default);
+    host_rx(w, e, h, frame);
+}
+
+fn host_exec(w: &mut World, e: &mut Sim, h: usize, frame: Frame) {
+    let now = e.now();
+    // Gateway ARP replies complete dynamic resolution and flush queued
+    // segments.
+    if let mts_net::Payload::Arp(arp) = &frame.payload {
+        let flushed = {
+            let host = &mut w.hosts[h];
+            if arp.op == mts_net::ArpOp::Reply && host.gw_ip == Some(arp.sender_ip) {
+                host.default_route = arp.sender_mac;
+                host.arp_in_flight = false;
+                std::mem::take(&mut host.arp_pending)
+            } else {
+                Vec::new()
+            }
+        };
+        if !flushed.is_empty() {
+            emit_segments(w, e, h, flushed);
+        }
+        return;
+    }
+    let mut emits: Vec<(Quad, TcpSegment)> = Vec::new();
+    let mut events: Vec<AppEvent> = Vec::new();
+    let touched: Option<Quad>;
+    {
+        let host = &mut w.hosts[h];
+        let Some(ip) = frame.ipv4() else {
+            return;
+        };
+        if ip.dst != host.ip {
+            w.drop_frame("host-misaddressed");
+            return;
+        }
+        let Transport::Tcp(seg) = ip.transport else {
+            return;
+        };
+        let quad = Quad {
+            lport: seg.dport,
+            rip: ip.src,
+            rport: seg.sport,
+        };
+        touched = Some(quad);
+        if let Some(rt) = host.conns.get_mut(&quad) {
+            let out = rt.conn.on_segment(&seg, now);
+            collect(host, quad, out, &mut emits, &mut events);
+        } else if seg.flags.contains(TcpFlags::SYN)
+            && !seg.flags.contains(TcpFlags::ACK)
+            && host.listeners.contains(&seg.dport)
+        {
+            let iss = host.rng.below(u64::from(u32::MAX)) as u32;
+            if let Some((conn, out)) = Connection::server_from_syn(host.tcp_cfg, &seg, iss, now) {
+                let id = host.alloc_conn_id();
+                host.conns.insert(
+                    quad,
+                    ConnRt {
+                        conn,
+                        id,
+                        timer_gen: 0,
+                    },
+                );
+                host.by_id.insert(id, quad);
+                collect(host, quad, out, &mut emits, &mut events);
+            }
+        } else if !seg.flags.contains(TcpFlags::RST) {
+            // Unknown connection: a real stack answers with RST.
+            emits.push((
+                quad,
+                TcpSegment {
+                    sport: seg.dport,
+                    dport: seg.sport,
+                    seq: seg.ack,
+                    ack: seg.seq_end(),
+                    flags: TcpFlags::RST | TcpFlags::ACK,
+                    window: 0,
+                    payload_len: 0,
+                },
+            ));
+        }
+    }
+    run_app_events_then_emit(w, e, h, events, emits);
+    if let Some(quad) = touched {
+        arm_conn_timer(w, e, h, quad);
+    }
+}
+
+/// Collects the stack output into emits + app events, reaping closed conns.
+fn collect(
+    host: &mut TcpHostRt,
+    quad: Quad,
+    out: Output,
+    emits: &mut Vec<(Quad, TcpSegment)>,
+    events: &mut Vec<AppEvent>,
+) {
+    let id = host.conns.get(&quad).map(|rt| rt.id);
+    for seg in out.segments {
+        emits.push((quad, seg));
+    }
+    if let Some(id) = id {
+        if out.connected {
+            events.push(AppEvent::Connected(id));
+        }
+        if out.delivered > 0 {
+            events.push(AppEvent::Data(id, out.delivered));
+        }
+        if out.closed {
+            events.push(AppEvent::Closed(id));
+            host.conns.remove(&quad);
+            host.by_id.remove(&id);
+        }
+    }
+}
+
+/// Delivers app events, applies the app's queued commands, then emits.
+fn run_app_events_then_emit(
+    w: &mut World,
+    e: &mut Sim,
+    h: usize,
+    events: Vec<AppEvent>,
+    mut emits: Vec<(Quad, TcpSegment)>,
+) {
+    if !events.is_empty() {
+        let more = run_app(w, e, h, events);
+        emits.extend(more);
+    }
+    emit_segments(w, e, h, emits);
+}
+
+/// Runs app callbacks for `events`; returns additional segments to emit.
+fn run_app(w: &mut World, e: &mut Sim, h: usize, events: Vec<AppEvent>) -> Vec<(Quad, TcpSegment)> {
+    let now = e.now();
+    let mut emits: Vec<(Quad, TcpSegment)> = Vec::new();
+    let mut queue = events;
+    let mut guard = 0;
+    while !queue.is_empty() {
+        guard += 1;
+        if guard > 64 {
+            break; // Defensive bound against app/command ping-pong.
+        }
+        // Phase 1: call the app with a buffered context.
+        let (cmds, latencies, counts, cpu) = {
+            let host = &mut w.hosts[h];
+            let mut app = host.app.take().expect("app present");
+            let mut ctx = CtxBuf {
+                cmds: Vec::new(),
+                latencies: Vec::new(),
+                counts: Vec::new(),
+                cpu: Dur::ZERO,
+                rng: host.rng.derive("app"),
+                next_conn: host.next_conn,
+            };
+            for ev in queue.drain(..) {
+                match ev {
+                    AppEvent::Started => app.on_start(now, &mut ctx),
+                    AppEvent::Connected(id) => app.on_connected(id, now, &mut ctx),
+                    AppEvent::Data(id, n) => app.on_data(id, n, now, &mut ctx),
+                    AppEvent::Closed(id) => app.on_closed(id, now, &mut ctx),
+                }
+            }
+            host.app = Some(app);
+            host.next_conn = ctx.next_conn;
+            // The derived app rng advanced; fold it back so draws differ
+            // next time.
+            host.rng = host.rng.derive("fold");
+            (ctx.cmds, ctx.latencies, ctx.counts, ctx.cpu)
+        };
+        // Phase 2: apply side effects.
+        for ns in latencies {
+            w.hosts[h].latencies.record(ns);
+        }
+        for (what, n) in counts {
+            *w.hosts[h].counters.entry(what).or_insert(0) += n;
+        }
+        if !cpu.is_zero() {
+            if let Some(cores) = w.hosts[h].cores {
+                w.cores
+                    .get_mut(cores[0])
+                    .expect("host core exists")
+                    .acquire(now, 0x3000 + h as u64, cpu);
+            }
+        }
+        let mut timer_quads = Vec::new();
+        let mut connects_in_batch: u64 = 0;
+        for cmd in cmds {
+            let host = &mut w.hosts[h];
+            match cmd {
+                Cmd::Send(id, bytes) => {
+                    if let Some(quad) = host.by_id.get(&id).copied() {
+                        if let Some(rt) = host.conns.get_mut(&quad) {
+                            let out = rt.conn.send(bytes, now);
+                            let mut evs = Vec::new();
+                            collect(host, quad, out, &mut emits, &mut evs);
+                            queue.extend(evs);
+                            timer_quads.push(quad);
+                        }
+                    }
+                }
+                Cmd::Close(id) => {
+                    if let Some(quad) = host.by_id.get(&id).copied() {
+                        if let Some(rt) = host.conns.get_mut(&quad) {
+                            let out = rt.conn.close(now);
+                            let mut evs = Vec::new();
+                            collect(host, quad, out, &mut emits, &mut evs);
+                            queue.extend(evs);
+                            timer_quads.push(quad);
+                        }
+                    }
+                }
+                Cmd::Connect(id, rip, rport) => {
+                    // Batched opens are paced (~250 us apart), as real
+                    // closed-loop benchmark tools ramp their connection
+                    // pools; an instantaneous SYN burst would only measure
+                    // rx-ring overflow and RTO recovery.
+                    let delay = Dur::micros(250) * connects_in_batch;
+                    connects_in_batch += 1;
+                    e.schedule_at(now + delay, move |w, e| {
+                        open_client_conn(w, e, h, id, rip, rport);
+                    });
+                }
+            }
+        }
+        for quad in timer_quads {
+            arm_conn_timer(w, e, h, quad);
+        }
+    }
+    emits
+}
+
+/// Opens a staggered client connection (see `Cmd::Connect` handling).
+fn open_client_conn(w: &mut World, e: &mut Sim, h: usize, id: ConnId, rip: Ipv4Addr, rport: u16) {
+    let now = e.now();
+    let mut emits = Vec::new();
+    let mut evs = Vec::new();
+    let quad = {
+        let Some(host) = w.hosts.get_mut(h) else {
+            return;
+        };
+        let lport = host.alloc_ephemeral();
+        let quad = Quad { lport, rip, rport };
+        let iss = host.rng.below(u64::from(u32::MAX)) as u32;
+        let (conn, out) = Connection::client(host.tcp_cfg, lport, rport, iss, now);
+        host.conns.insert(
+            quad,
+            ConnRt {
+                conn,
+                id,
+                timer_gen: 0,
+            },
+        );
+        host.by_id.insert(id, quad);
+        collect(host, quad, out, &mut emits, &mut evs);
+        quad
+    };
+    run_app_events_then_emit(w, e, h, evs, emits);
+    arm_conn_timer(w, e, h, quad);
+}
+
+/// Transmits segments from host `h` into the datapath.
+fn emit_segments(w: &mut World, e: &mut Sim, h: usize, emits: Vec<(Quad, TcpSegment)>) {
+    if emits.is_empty() {
+        return;
+    }
+    let now = e.now();
+    // Dynamic ARP: queue segments until the gateway resolves, sending one
+    // who-has request (answered by the vswitch proxy-ARP responder).
+    let unresolved = {
+        let host = &w.hosts[h];
+        host.gw_ip.is_some() && host.default_route == MacAddr::ZERO
+    };
+    if unresolved {
+        let arp_request = {
+            let host = &mut w.hosts[h];
+            host.arp_pending.extend(emits);
+            if host.arp_in_flight {
+                None
+            } else {
+                host.arp_in_flight = true;
+                let gw_ip = host.gw_ip.expect("checked above");
+                let req = mts_net::ArpPacket::request(host.mac, host.ip, gw_ip);
+                Some((Frame::arp(host.mac, req), host.attach))
+            }
+        };
+        if let Some((frame, attach)) = arp_request {
+            dispatch_frame(w, e, attach, frame);
+        }
+        return;
+    }
+    // Charge tx CPU (tenant hosts only) and compute the departure time.
+    let depart = {
+        let host = &w.hosts[h];
+        match host.cores {
+            Some(cores) => {
+                // GSO: bulk data segments cost less per segment to emit.
+                let cost = Dur::nanos(
+                    emits
+                        .iter()
+                        .map(|(_, seg)| {
+                            let f = if seg.payload_len >= 1_000 { 8 } else { 1 };
+                            host.per_segment.as_nanos() / f
+                        })
+                        .sum(),
+                );
+                let grant = w
+                    .cores
+                    .get_mut(cores[1])
+                    .expect("host core exists")
+                    .acquire(now, 0x3000 + h as u64, cost);
+                grant.end
+            }
+            None => now,
+        }
+    };
+    let frames: Vec<(Frame, HostAttach)> = {
+        let host = &w.hosts[h];
+        emits
+            .into_iter()
+            .map(|(quad, seg)| {
+                let frame = Frame::new(
+                    host.mac,
+                    host.route(quad.rip),
+                    Payload::Ipv4(Ipv4Packet {
+                        src: host.ip,
+                        dst: quad.rip,
+                        ttl: 64,
+                        tos: 0,
+                        transport: Transport::Tcp(seg),
+                    }),
+                )
+                .stamped(now.as_nanos());
+                (frame, host.attach)
+            })
+            .collect()
+    };
+    for (frame, attach) in frames {
+        e.schedule_at(depart, move |w, e| dispatch_frame(w, e, attach, frame));
+    }
+}
+
+/// Sends one frame into the datapath via a host attachment.
+fn dispatch_frame(w: &mut World, e: &mut Sim, attach: HostAttach, frame: Frame) {
+    match attach {
+        HostAttach::Wire(pf) => wire_inject(w, e, pf, frame),
+        HostAttach::Vf(pf, vf) => {
+            let arr = w.nic.dma(e.now(), u64::from(frame.wire_len()));
+            w.max_dma_wait = w.max_dma_wait.max(arr - e.now());
+            e.schedule_at(arr, move |w, e| nic_rx(w, e, pf, NicPort::Vf(vf), frame));
+        }
+        HostAttach::Vhost(tenant, side) => {
+            let arr = e.now() + w.cfg.host_notify;
+            e.schedule_at(arr, move |w, e| {
+                let found = w.vswitches.iter().enumerate().find_map(|(i, vs)| {
+                    vs.inst.vhost.get(&(tenant, side)).map(|p| (i, *p))
+                });
+                match found {
+                    Some((i, port)) => vswitch_rx(w, e, i, port, frame, true),
+                    None => w.drop_frame("vhost-unrouted"),
+                }
+            });
+        }
+    }
+}
+
+/// (Re-)arms the retransmission/delayed-ACK timer of one connection.
+fn arm_conn_timer(w: &mut World, e: &mut Sim, h: usize, quad: Quad) {
+    let Some(host) = w.hosts.get_mut(h) else {
+        return;
+    };
+    let Some(rt) = host.conns.get_mut(&quad) else {
+        return;
+    };
+    rt.timer_gen += 1;
+    let gen = rt.timer_gen;
+    let Some(deadline) = rt.conn.next_timer() else {
+        return;
+    };
+    e.schedule_at(deadline, move |w, e| {
+        conn_timer_fire(w, e, h, quad, gen);
+    });
+}
+
+fn conn_timer_fire(w: &mut World, e: &mut Sim, h: usize, quad: Quad, gen: u64) {
+    let now = e.now();
+    let mut emits = Vec::new();
+    let mut events = Vec::new();
+    {
+        let Some(host) = w.hosts.get_mut(h) else {
+            return;
+        };
+        let Some(rt) = host.conns.get_mut(&quad) else {
+            return;
+        };
+        if rt.timer_gen != gen {
+            return; // Superseded by later activity.
+        }
+        let out = rt.conn.on_timer(now);
+        collect(host, quad, out, &mut emits, &mut events);
+    }
+    run_app_events_then_emit(w, e, h, events, emits);
+    arm_conn_timer(w, e, h, quad);
+}
+
+/// Registers a tenant-hosted server: creates the host, binds the listener,
+/// marks the tenant VM as an endpoint, and wires VF/vhost ownership.
+#[allow(clippy::too_many_arguments)]
+pub fn add_tenant_server(
+    w: &mut World,
+    tenant: u8,
+    listen_port: u16,
+    app: Box<dyn App>,
+    per_segment: Dur,
+) -> usize {
+    let t = &w.plan.tenants[tenant as usize];
+    let attach = if w.spec.level.compartmentalized() {
+        let (vf, _) = t.vf[0];
+        HostAttach::Vf(vf.pf, vf.vf)
+    } else {
+        HostAttach::Vhost(tenant, 0)
+    };
+    let comp = w.spec.compartment_of_tenant(tenant) as usize;
+    let gw_mac = if w.spec.level.compartmentalized() {
+        w.plan.compartments[comp]
+            .gw_for(tenant, 0)
+            .map(|(_, m)| m)
+            .unwrap_or(MacAddr::ZERO)
+    } else {
+        // Baseline: the vswitch routes on IP; any dmac works. Use the
+        // host-side router MAC for realism.
+        crate::controller::Controller::baseline_router_mac(0)
+    };
+    let cores = w.tenants[tenant as usize].cores;
+    let rng = w.rng.derive(&format!("host-t{tenant}"));
+    let mut host = TcpHostRt::new(
+        format!("tenant{tenant}"),
+        t.ip,
+        t.vf[0].1,
+        attach,
+        Some(cores),
+        app,
+        rng,
+    );
+    host.per_segment = per_segment;
+    host.default_route = gw_mac;
+    host.listeners.insert(listen_port);
+    let h = w.hosts.len();
+    w.hosts.push(host);
+    w.tenants[tenant as usize].kind = crate::runtime::TenantKind::Endpoint(h);
+    // Claim the tenant's VF for this endpoint (MTS).
+    if let HostAttach::Vf(pf, vf) = attach {
+        w.vf_owner
+            .insert((pf.0, vf.0), crate::runtime::Owner::Tenant(tenant as usize, 0));
+    }
+    h
+}
+
+/// Registers an external (LG-side) client host on the wire of port 0.
+pub fn add_lg_client(
+    w: &mut World,
+    name: &str,
+    ip: Ipv4Addr,
+    app: Box<dyn App>,
+    routes: Vec<(Ipv4Addr, MacAddr)>,
+) -> usize {
+    let rng = w.rng.derive(&format!("lg-{name}"));
+    let mut host = TcpHostRt::new(
+        name,
+        ip,
+        w.plan.lg_mac,
+        HostAttach::Wire(PfId(0)),
+        None,
+        app,
+        rng,
+    );
+    host.routes = routes;
+    host.default_route = w
+        .plan
+        .compartments
+        .first()
+        .map(|c| c.in_out[0].1)
+        .unwrap_or_else(|| crate::controller::Controller::baseline_router_mac(0));
+    let h = w.hosts.len();
+    w.hosts.push(host);
+    h
+}
+
+/// Wires the v2v forwarder attachment: in workload v2v mode the forwarder
+/// tenant keeps its l2fwd role, but its next hop is the *server* path.
+pub fn dummy() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Controller;
+    use crate::runtime::{RuntimeCfg, WireEnd};
+    use crate::spec::{DeploymentSpec, Scenario, SecurityLevel};
+    use mts_apps::{IperfClient, IperfServer};
+    use mts_host::ResourceMode;
+    use mts_vswitch::DatapathKind;
+
+    fn iperf_world(level: SecurityLevel) -> (World, Sim) {
+        let spec = DeploymentSpec::mts(
+            level,
+            DatapathKind::Kernel,
+            ResourceMode::Isolated,
+            Scenario::P2v,
+        );
+        let d = Controller::deploy_workload(spec).unwrap();
+        let mut cfg = RuntimeCfg::for_spec(&spec);
+        cfg.offered_pps = 0.0;
+        let mut w = World::new(d, cfg, 123);
+        // One tenant server; one LG client streaming to it.
+        let t = 0u8;
+        add_tenant_server(
+            &mut w,
+            t,
+            mts_apps::iperf::IPERF_PORT,
+            Box::new(IperfServer::new()),
+            Dur::nanos(1_500),
+        );
+        let server_ip = w.plan.tenants[0].ip;
+        let comp_mac = w.plan.compartments[0].in_out[0].1;
+        let lg_ip = w.plan.lg_ip;
+        add_lg_client(
+            &mut w,
+            "iperf-client",
+            lg_ip,
+            Box::new(IperfClient::new(vec![server_ip])),
+            vec![(server_ip, comp_mac)],
+        );
+        w.wire_ends = vec![WireEnd::Host(1)];
+        (w, Sim::new())
+    }
+
+    #[test]
+    fn iperf_stream_flows_end_to_end() {
+        let (mut w, mut e) = iperf_world(SecurityLevel::Level1);
+        host_start(&mut w, &mut e, 1);
+        e.run_until(&mut w, Time::from_nanos(50_000_000)); // 50 ms
+        let server = &w.hosts[0];
+        let bytes = server.counter("iperf_bytes");
+        assert!(bytes > 100_000, "iperf moved only {bytes} bytes; drops {:?}", w.drops);
+        // Goodput within 10G: bytes in 50 ms.
+        let gbps = bytes as f64 * 8.0 / 0.05 / 1e9;
+        assert!(gbps < 10.5, "goodput {gbps} exceeds the link");
+    }
+
+    #[test]
+    fn rst_for_closed_ports() {
+        let (mut w, mut e) = iperf_world(SecurityLevel::Level1);
+        // Client connects to a port nobody listens on.
+        let server_ip = w.plan.tenants[0].ip;
+        let comp_mac = w.plan.compartments[0].in_out[0].1;
+        let h = add_lg_client(
+            &mut w,
+            "stray",
+            Ipv4Addr::new(10, 255, 0, 99),
+            Box::new(IperfClient::new(vec![server_ip])),
+            vec![(server_ip, comp_mac)],
+        );
+        // Point the stray client at a dead port by rebinding the listener.
+        w.hosts[0].listeners.clear();
+        host_start(&mut w, &mut e, h);
+        e.run_until(&mut w, Time::from_nanos(20_000_000));
+        // The client connection was reset, not established.
+        assert_eq!(w.hosts[h].counter("iperf_streams"), 0);
+        assert_eq!(w.hosts[0].counter("iperf_bytes"), 0);
+    }
+
+    #[test]
+    fn ephemeral_ports_do_not_collide() {
+        let rng = DetRng::new(1);
+        let mut host = TcpHostRt::new(
+            "x",
+            Ipv4Addr::new(1, 1, 1, 1),
+            MacAddr::local(1),
+            HostAttach::Wire(PfId(0)),
+            None,
+            Box::new(IperfServer::new()),
+            rng,
+        );
+        let a = host.alloc_ephemeral();
+        // Simulate the port being taken.
+        host.conns.insert(
+            Quad {
+                lport: a,
+                rip: Ipv4Addr::new(2, 2, 2, 2),
+                rport: 80,
+            },
+            ConnRt {
+                conn: Connection::client(TcpConfig::default(), a, 80, 1, Time::ZERO).0,
+                id: ConnId(99),
+                timer_gen: 0,
+            },
+        );
+        let b = host.alloc_ephemeral();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dynamic_arp_resolves_via_proxy_arp_and_traffic_flows() {
+        // Like the iperf world, but the tenant server starts with an
+        // unresolved gateway: its first segments queue behind a who-has
+        // request that the vswitch's proxy-ARP responder answers.
+        let (mut w, mut e) = iperf_world(SecurityLevel::Level1);
+        let gw_ip = w.plan.tenants[0].gw_ip;
+        {
+            let server = &mut w.hosts[0];
+            server.default_route = MacAddr::ZERO;
+            server.gw_ip = Some(gw_ip);
+        }
+        host_start(&mut w, &mut e, 1);
+        e.run_until(&mut w, Time::from_nanos(50_000_000));
+        let server = &w.hosts[0];
+        assert_ne!(
+            server.default_route,
+            MacAddr::ZERO,
+            "gateway must resolve via proxy ARP (drops {:?})",
+            w.drops
+        );
+        let bytes = server.counter("iperf_bytes");
+        assert!(bytes > 100_000, "iperf moved only {bytes} bytes after ARP");
+    }
+
+    #[test]
+    fn routes_resolve_with_default_fallback() {
+        let rng = DetRng::new(1);
+        let mut host = TcpHostRt::new(
+            "x",
+            Ipv4Addr::new(1, 1, 1, 1),
+            MacAddr::local(1),
+            HostAttach::Wire(PfId(0)),
+            None,
+            Box::new(IperfServer::new()),
+            rng,
+        );
+        host.default_route = MacAddr::local(0xdd);
+        host.add_route(Ipv4Addr::new(10, 0, 1, 1), MacAddr::local(0xaa));
+        assert_eq!(host.route(Ipv4Addr::new(10, 0, 1, 1)), MacAddr::local(0xaa));
+        assert_eq!(host.route(Ipv4Addr::new(9, 9, 9, 9)), MacAddr::local(0xdd));
+    }
+}

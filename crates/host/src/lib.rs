@@ -1,0 +1,27 @@
+//! Host, VM, vhost-channel and resource models.
+//!
+//! Everything the device-under-test server provides besides the NIC and the
+//! vswitch itself:
+//!
+//! - [`vm`] — virtual machines (vswitch VMs, tenant VMs) and their sizing
+//!   (the paper gives every VM 4 GB RAM with one 1 GB hugepage),
+//! - [`vhost`] — the virtio/vhost software channel the Baseline uses
+//!   between the host vswitch and tenant VMs; its per-packet + per-byte
+//!   copy cost *on the host core* is the Baseline's key cost disadvantage,
+//! - [`bridge`] — the Linux bridge tenants run in the Baseline,
+//! - [`pinning`] — CPU core allocation for the *shared* and *isolated*
+//!   resource modes (paper Sec. 3.2 "Resource allocation"),
+//! - [`resources`] — the ledger reproducing Fig. 5(c,f,i): cores and 1 GB
+//!   hugepages per configuration.
+
+pub mod bridge;
+pub mod pinning;
+pub mod resources;
+pub mod vhost;
+pub mod vm;
+
+pub use bridge::LinuxBridge;
+pub use pinning::{PinningPlan, ResourceMode};
+pub use resources::{ResourceLedger, ResourceTotals};
+pub use vhost::VhostCosts;
+pub use vm::{Vm, VmId, VmRole, VmSpec};

@@ -1,0 +1,146 @@
+//! CPU core allocation: the *shared* and *isolated* resource modes.
+//!
+//! Paper Sec. 3.2, "Resource allocation": in the **shared** mode all
+//! vswitch compartments share one physical core; in the **isolated** mode
+//! each compartment is pinned to its own core. One core is always dedicated
+//! to the host OS; tenant VMs get two cores each.
+
+use mts_sim::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// The two compute/memory sharing strategies evaluated in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum ResourceMode {
+    /// All vswitch compartments share one physical core.
+    Shared,
+    /// Each vswitch compartment is pinned to its own physical core.
+    Isolated,
+}
+
+/// The core assignment of one deployment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PinningPlan {
+    /// The host OS housekeeping core.
+    pub host_core: CoreId,
+    /// One entry per vswitch compartment (Baseline: per vswitch thread);
+    /// in the shared mode all entries are the same core.
+    pub vswitch_cores: Vec<CoreId>,
+    /// Two cores per tenant VM.
+    pub tenant_cores: Vec<[CoreId; 2]>,
+    /// Total number of physical cores used.
+    pub total_cores: u32,
+}
+
+impl PinningPlan {
+    /// Builds the plan for `compartments` vswitch compartments and
+    /// `tenants` tenant VMs under a resource mode.
+    ///
+    /// Baseline (vswitch co-located with the host) is expressed by calling
+    /// this with `compartments` equal to the number of vswitch threads and
+    /// `baseline_colocated = true`, which overlaps the first vswitch core
+    /// with the host core in the shared mode — the paper's "the vswitch
+    /// (OvS) runs in the Host OS and hence shares the Host's core".
+    pub fn build(
+        compartments: u32,
+        tenants: u32,
+        mode: ResourceMode,
+        baseline_colocated: bool,
+    ) -> PinningPlan {
+        let mut next = 0u32;
+        let mut alloc = || {
+            let c = CoreId(next);
+            next += 1;
+            c
+        };
+        let host_core = alloc();
+        let vswitch_cores: Vec<CoreId> = match (mode, baseline_colocated) {
+            (ResourceMode::Shared, true) => vec![host_core; compartments.max(1) as usize],
+            (ResourceMode::Shared, false) => {
+                let shared = alloc();
+                vec![shared; compartments.max(1) as usize]
+            }
+            (ResourceMode::Isolated, true) => {
+                // Baseline isolated: k vswitch threads on k cores, the
+                // first overlapping the host core (total k, matching the
+                // paper's "allocated cores proportional to the number of
+                // vswitch compartments").
+                let mut v = vec![host_core];
+                for _ in 1..compartments.max(1) {
+                    v.push(alloc());
+                }
+                v
+            }
+            (ResourceMode::Isolated, false) => {
+                (0..compartments.max(1)).map(|_| alloc()).collect()
+            }
+        };
+        let tenant_cores: Vec<[CoreId; 2]> = (0..tenants).map(|_| [alloc(), alloc()]).collect();
+        PinningPlan {
+            host_core,
+            vswitch_cores,
+            tenant_cores,
+            total_cores: next,
+        }
+    }
+
+    /// Number of distinct cores used by vswitching (including a co-located
+    /// host core when applicable) — the quantity Fig. 5(c,f,i) reports.
+    pub fn vswitching_cores(&self) -> u32 {
+        let mut cores: Vec<CoreId> = self.vswitch_cores.clone();
+        cores.push(self.host_core);
+        cores.sort();
+        cores.dedup();
+        cores.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_shared_uses_one_core() {
+        let p = PinningPlan::build(1, 4, ResourceMode::Shared, true);
+        assert_eq!(p.vswitch_cores[0], p.host_core);
+        assert_eq!(p.vswitching_cores(), 1);
+        assert_eq!(p.tenant_cores.len(), 4);
+        // host(1, shared with vswitch) + 4*2 tenant cores.
+        assert_eq!(p.total_cores, 9);
+    }
+
+    #[test]
+    fn mts_shared_uses_two_cores_regardless_of_compartments() {
+        for k in [1u32, 2, 4] {
+            let p = PinningPlan::build(k, 4, ResourceMode::Shared, false);
+            assert_eq!(p.vswitching_cores(), 2, "k={k}");
+            // All compartments share one core.
+            assert!(p.vswitch_cores.iter().all(|c| *c == p.vswitch_cores[0]));
+            assert_ne!(p.vswitch_cores[0], p.host_core);
+        }
+    }
+
+    #[test]
+    fn mts_isolated_is_one_extra_core_over_baseline() {
+        for k in [1u32, 2, 4] {
+            let base = PinningPlan::build(k, 4, ResourceMode::Isolated, true);
+            let mts = PinningPlan::build(k, 4, ResourceMode::Isolated, false);
+            assert_eq!(base.vswitching_cores(), k);
+            assert_eq!(mts.vswitching_cores(), k + 1, "k={k}");
+            // Isolated: all compartment cores distinct.
+            let mut cores = mts.vswitch_cores.clone();
+            cores.dedup();
+            assert_eq!(cores.len(), k as usize);
+        }
+    }
+
+    #[test]
+    fn tenants_get_two_distinct_cores_each() {
+        let p = PinningPlan::build(2, 3, ResourceMode::Isolated, false);
+        let mut all: Vec<CoreId> = p.tenant_cores.iter().flatten().copied().collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n);
+        assert_eq!(n, 6);
+    }
+}

@@ -1,0 +1,120 @@
+//! Resource accounting — reproduces Fig. 5(c), (f) and (i).
+//!
+//! The paper reports, per configuration, the number of physical cores and
+//! 1 GB hugepages consumed by *vswitching* (one core and at least one
+//! hugepage are always dedicated to the host OS; tenant VMs are excluded
+//! from these figures since every configuration hosts the same tenants).
+
+use crate::pinning::{PinningPlan, ResourceMode};
+use serde::{Deserialize, Serialize};
+
+/// Totals for one configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceTotals {
+    /// Physical cores used for host + vswitching.
+    pub cores: u32,
+    /// 1 GB hugepages reserved for host + vswitch compartments.
+    pub hugepages: u32,
+    /// RAM in GB allocated to vswitch compartments (4 GB per vswitch VM).
+    pub vswitch_ram_gb: u32,
+}
+
+/// A ledger that derives resource totals from a deployment shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceLedger {
+    /// Number of vswitch compartments (Baseline: vswitch threads).
+    pub compartments: u32,
+    /// Whether the vswitch is co-located with the host (Baseline).
+    pub colocated: bool,
+    /// Resource mode.
+    pub mode: ResourceMode,
+    /// Whether the datapath is DPDK (Level-3): poll-mode threads always
+    /// need dedicated cores, so the shared mode is unavailable and even
+    /// the Baseline pays one core per PMD thread.
+    pub dpdk: bool,
+}
+
+impl ResourceLedger {
+    /// Computes the totals for this configuration.
+    ///
+    /// Anchors from the paper (Sec. 4.3):
+    /// - Baseline shared: vswitch shares the host core → 1 core.
+    /// - MTS shared: host core + one shared vswitch core → 2 cores, with
+    ///   RAM growing linearly in the number of compartments.
+    /// - MTS isolated: one extra core relative to the Baseline.
+    /// - DPDK: MTS and Baseline consume equal cores and equal memory.
+    pub fn totals(&self) -> ResourceTotals {
+        let k = self.compartments.max(1);
+        let cores = if self.dpdk {
+            // PMD threads cannot share the housekeeping core.
+            1 + k
+        } else {
+            let plan = PinningPlan::build(k, 0, self.mode, self.colocated);
+            plan.vswitching_cores()
+        };
+        // Hugepages: one for the host plus one per compartment. The paper
+        // allocates the Baseline "a proportional amount of Huge pages".
+        let hugepages = 1 + k;
+        let vswitch_ram_gb = if self.colocated { 0 } else { 4 * k };
+        ResourceTotals {
+            cores,
+            hugepages,
+            vswitch_ram_gb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(k: u32, colocated: bool, mode: ResourceMode, dpdk: bool) -> ResourceTotals {
+        ResourceLedger {
+            compartments: k,
+            colocated,
+            mode,
+            dpdk,
+        }
+        .totals()
+    }
+
+    #[test]
+    fn baseline_shared_is_one_core() {
+        let t = ledger(1, true, ResourceMode::Shared, false);
+        assert_eq!(t.cores, 1);
+        assert_eq!(t.vswitch_ram_gb, 0);
+    }
+
+    #[test]
+    fn mts_shared_is_two_cores_with_linear_ram() {
+        for k in [1u32, 2, 4] {
+            let t = ledger(k, false, ResourceMode::Shared, false);
+            assert_eq!(t.cores, 2, "k={k}");
+            assert_eq!(t.vswitch_ram_gb, 4 * k);
+            assert_eq!(t.hugepages, 1 + k);
+        }
+    }
+
+    #[test]
+    fn mts_isolated_is_one_extra_core_over_baseline() {
+        for k in [1u32, 2, 4] {
+            let base = ledger(k, true, ResourceMode::Isolated, false);
+            let mts = ledger(k, false, ResourceMode::Isolated, false);
+            assert_eq!(mts.cores, base.cores + 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn dpdk_mts_and_baseline_consume_equal_resources() {
+        for k in [1u32, 2, 4] {
+            let base = ledger(k, true, ResourceMode::Isolated, true);
+            let mts = ledger(k, false, ResourceMode::Isolated, true);
+            assert_eq!(base.cores, mts.cores, "k={k}");
+            assert_eq!(base.hugepages, mts.hugepages, "k={k}");
+            // Baseline with 1 dpdk core = 2 in total (paper Sec. 4.2).
+            if k == 1 {
+                assert_eq!(base.cores, 2);
+            }
+        }
+    }
+}

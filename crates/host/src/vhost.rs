@@ -1,0 +1,156 @@
+//! The virtio/vhost software channel (Baseline tenant connectivity).
+//!
+//! In the Baseline, tenant VMs attach to the host vswitch through
+//! vhost/virtio: every packet is copied between host and guest memory by a
+//! vhost worker *on a host core*. In Level-3 Baseline the OvS-DPDK
+//! `dpdkvhostuserclient` port does the copy inside the PMD thread. Either
+//! way the CPU cost scales with packet count *and bytes* — unlike MTS,
+//! where the SR-IOV NIC DMAs frames without consuming vswitch-core cycles.
+//! This asymmetry is the paper's central performance mechanism (Sec. 4.1:
+//! "vswitch-to-tenant communication is via the PCIe bus and NIC switch,
+//! which turns out to be faster than Baseline's memory bus and software
+//! approach").
+
+use mts_net::Frame;
+use mts_sim::Dur;
+use serde::{Deserialize, Serialize};
+
+/// Cost model of one vhost/virtio crossing (one direction).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VhostCosts {
+    /// Fixed per-packet cost (descriptor handling, notification).
+    pub per_packet: Dur,
+    /// Copy cost, picoseconds per byte.
+    pub ps_per_byte: u64,
+    /// Latency experienced by the guest before its driver sees the packet
+    /// (virtio interrupt injection + guest NAPI wakeup). Not charged to the
+    /// host core; pure latency.
+    pub guest_notify: Dur,
+    /// Number of virtqueues (multiqueue vhost). More queues spread load but
+    /// at low per-queue rates batching timers dominate latency (the ~1 ms
+    /// anomaly of Sec. 4.2).
+    pub queues: u32,
+    /// Flush/drain interval of a queue when it does not fill a burst.
+    pub drain_interval: Dur,
+}
+
+impl VhostCosts {
+    /// Kernel vhost worker (Baseline with the kernel datapath).
+    pub fn kernel() -> Self {
+        VhostCosts {
+            per_packet: Dur::nanos(1_100),
+            ps_per_byte: 1_000,
+            guest_notify: Dur::micros(25),
+            queues: 1,
+            drain_interval: Dur::ZERO,
+        }
+    }
+
+    /// `dpdkvhostuserclient` (Baseline Level-3): the copy runs inside the
+    /// PMD thread; cheaper per packet but still per-byte.
+    pub fn dpdk_user(pmd_cores: u32) -> Self {
+        VhostCosts {
+            per_packet: Dur::nanos(90),
+            ps_per_byte: 100,
+            guest_notify: Dur::micros(4),
+            // One queue per PMD core, as OvS-DPDK configures by default.
+            queues: pmd_cores.max(1),
+            // The observed low-rate drain behaviour (Sec. 4.2): with
+            // multiple queues at 10 kpps aggregate, per-queue rates are too
+            // low to fill bursts and latency jumps to ~1 ms.
+            drain_interval: Dur::millis(2),
+        }
+    }
+
+    /// CPU cost of copying one frame across the channel (one direction).
+    pub fn copy_cost(&self, frame: &Frame) -> Dur {
+        self.copy_cost_amortized(frame, 1)
+    }
+
+    /// Copy cost with the fixed part amortized over `factor` frames
+    /// (TSO/GSO: bulk TCP crosses vhost as super-segments; the per-byte
+    /// copy is irreducible).
+    pub fn copy_cost_amortized(&self, frame: &Frame, factor: u64) -> Dur {
+        self.per_packet / factor.max(1)
+            + Dur::nanos(self.ps_per_byte * u64::from(frame.wire_len()) / 1000)
+    }
+
+    /// Extra delivery latency at a given aggregate packet rate.
+    ///
+    /// When per-queue arrival intervals exceed the drain interval, packets
+    /// wait for the periodic flush: expected extra latency is half the
+    /// drain interval. At high rates bursts fill quickly and the penalty
+    /// vanishes.
+    pub fn batching_latency(&self, aggregate_pps: f64) -> Dur {
+        if self.drain_interval.is_zero() || aggregate_pps <= 0.0 || self.queues <= 1 {
+            // A single PMD flushes its one queue every iteration; the
+            // anomaly needs per-queue starvation across multiple queues.
+            return Dur::ZERO;
+        }
+        let per_queue_pps = aggregate_pps / f64::from(self.queues.max(1));
+        // A 32-burst fills in 32/rate seconds; if that exceeds the drain
+        // interval the flush timer dominates.
+        let fill = 32.0 / per_queue_pps;
+        if Dur::from_secs_f64(fill) > self.drain_interval {
+            self.drain_interval.mul_f64(0.5)
+        } else {
+            Dur::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mts_net::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn frame(wire: u32) -> Frame {
+        Frame::udp_probe(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::new(1, 0, 0, 1),
+            Ipv4Addr::new(1, 0, 0, 2),
+            7,
+            0,
+            wire,
+        )
+    }
+
+    #[test]
+    fn kernel_copy_is_expensive_per_byte() {
+        let v = VhostCosts::kernel();
+        let small = v.copy_cost(&frame(64));
+        let big = v.copy_cost(&frame(1500));
+        assert_eq!(small, Dur::nanos(1_100 + 64));
+        assert_eq!(big, Dur::nanos(1_100 + 1_500));
+        assert!(big > small);
+    }
+
+    #[test]
+    fn dpdk_user_is_cheaper() {
+        let k = VhostCosts::kernel();
+        let d = VhostCosts::dpdk_user(2);
+        assert!(d.copy_cost(&frame(64)) < k.copy_cost(&frame(64)) / 5);
+        assert_eq!(d.queues, 2);
+    }
+
+    #[test]
+    fn low_rate_multiqueue_hits_the_drain_anomaly() {
+        let d = VhostCosts::dpdk_user(4);
+        // 10 kpps across 4 queues: 2.5 kpps per queue, burst fill 12.8 ms
+        // >> 2 ms drain => ~1 ms extra latency (the paper's observation).
+        assert_eq!(d.batching_latency(10_000.0), Dur::millis(1));
+        // At 1 Mpps bursts fill in 128us per queue, under the drain.
+        assert_eq!(d.batching_latency(1_000_000.0), Dur::ZERO);
+        // A single PMD queue never starves.
+        assert_eq!(VhostCosts::dpdk_user(1).batching_latency(10_000.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn kernel_vhost_has_no_drain_anomaly() {
+        let k = VhostCosts::kernel();
+        assert_eq!(k.batching_latency(10_000.0), Dur::ZERO);
+        assert_eq!(k.batching_latency(0.0), Dur::ZERO);
+    }
+}

@@ -1,0 +1,108 @@
+//! ARP requests and replies.
+//!
+//! MTS requires the default-gateway ARP entry in each tenant VM to resolve
+//! to the tenant's *Gw VF* MAC (Sec. 3.2): either a static entry or a
+//! proxy-ARP responder in the vswitch. Both are exercised in `mts-core`, so
+//! the packet model carries real ARP.
+
+use crate::addr::MacAddr;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// The ARP operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum ArpOp {
+    /// Who-has (opcode 1).
+    Request,
+    /// Is-at (opcode 2).
+    Reply,
+}
+
+impl ArpOp {
+    /// Returns the 16-bit wire opcode.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+
+    /// Builds an operation from the wire opcode.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        match v {
+            1 => Some(ArpOp::Request),
+            2 => Some(ArpOp::Reply),
+            _ => None,
+        }
+    }
+}
+
+/// An ARP packet for IPv4 over Ethernet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Builds a who-has request from `sender` for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Builds the is-at reply answering `request`.
+    pub fn reply_to(&self, answer_mac: MacAddr) -> Self {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: answer_mac,
+            sender_ip: self.target_ip,
+            target_mac: self.sender_mac,
+            target_ip: self.sender_ip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        assert_eq!(ArpOp::from_u16(1), Some(ArpOp::Request));
+        assert_eq!(ArpOp::from_u16(2), Some(ArpOp::Reply));
+        assert_eq!(ArpOp::from_u16(3), None);
+        assert_eq!(ArpOp::Request.to_u16(), 1);
+        assert_eq!(ArpOp::Reply.to_u16(), 2);
+    }
+
+    #[test]
+    fn reply_swaps_endpoints() {
+        let who = ArpPacket::request(
+            MacAddr::local(1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        assert_eq!(who.target_mac, MacAddr::ZERO);
+        let gw = MacAddr::local(99);
+        let ans = who.reply_to(gw);
+        assert_eq!(ans.op, ArpOp::Reply);
+        assert_eq!(ans.sender_mac, gw);
+        assert_eq!(ans.sender_ip, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(ans.target_mac, MacAddr::local(1));
+        assert_eq!(ans.target_ip, Ipv4Addr::new(10, 0, 0, 2));
+    }
+}

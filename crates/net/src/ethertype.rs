@@ -1,0 +1,120 @@
+//! EtherTypes and IEEE 802.1Q VLAN tags.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The EtherType of an Ethernet frame's payload.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum EtherType {
+    /// IPv4 (`0x0800`).
+    Ipv4,
+    /// ARP (`0x0806`).
+    Arp,
+    /// 802.1Q VLAN tag (`0x8100`). Only appears on the wire, never as the
+    /// innermost type.
+    Vlan,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Returns the 16-bit wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Vlan => 0x8100,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Builds an [`EtherType`] from the 16-bit wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x8100 => EtherType::Vlan,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtherType::Ipv4 => write!(f, "ipv4"),
+            EtherType::Arp => write!(f, "arp"),
+            EtherType::Vlan => write!(f, "vlan"),
+            EtherType::Other(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+/// An 802.1Q VLAN tag: 12-bit VLAN id plus 3-bit priority.
+///
+/// VLAN id 0 is "priority tagged" and treated as untagged by the NIC model,
+/// matching the paper's convention ("the NIC switch will deliver the packet
+/// to the vswitch VM untagged (Vlan 0)").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct VlanTag {
+    /// VLAN identifier, 1..=4094 for real VLANs.
+    pub vid: u16,
+    /// Priority code point, 0..=7.
+    pub pcp: u8,
+}
+
+impl VlanTag {
+    /// Creates a tag with priority 0; the id is masked to 12 bits.
+    pub fn new(vid: u16) -> Self {
+        VlanTag {
+            vid: vid & 0x0fff,
+            pcp: 0,
+        }
+    }
+
+    /// Returns the 16-bit TCI field (PCP | DEI=0 | VID).
+    pub fn tci(self) -> u16 {
+        (u16::from(self.pcp & 0x7) << 13) | (self.vid & 0x0fff)
+    }
+
+    /// Builds a tag from a 16-bit TCI field.
+    pub fn from_tci(tci: u16) -> Self {
+        VlanTag {
+            vid: tci & 0x0fff,
+            pcp: ((tci >> 13) & 0x7) as u8,
+        }
+    }
+}
+
+impl fmt::Display for VlanTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vlan{}", self.vid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethertype_wire_roundtrip() {
+        for v in [0x0800u16, 0x0806, 0x8100, 0x86dd, 0x1234] {
+            assert_eq!(EtherType::from_u16(v).to_u16(), v);
+        }
+        assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_u16(0x86dd), EtherType::Other(0x86dd));
+    }
+
+    #[test]
+    fn vlan_tci_roundtrip() {
+        let t = VlanTag { vid: 100, pcp: 5 };
+        assert_eq!(VlanTag::from_tci(t.tci()), t);
+        assert_eq!(t.tci(), (5 << 13) | 100);
+    }
+
+    #[test]
+    fn vlan_new_masks_vid() {
+        assert_eq!(VlanTag::new(0xffff).vid, 0x0fff);
+        assert_eq!(VlanTag::new(1).pcp, 0);
+    }
+}

@@ -1,0 +1,376 @@
+//! IPv4 packets and the UDP/TCP transports they carry.
+//!
+//! Payload *contents* are modelled as lengths plus small typed markers (a
+//! probe sequence number, a VXLAN-encapsulated inner frame, or opaque
+//! application bytes). This is all the evaluation needs, while the wire
+//! codec can still emit byte-exact packets (payload bytes are zero-filled).
+
+use crate::frame::Frame;
+use crate::vxlan::Vni;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// IP protocol numbers used by the stack.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum IpProto {
+    /// UDP (17).
+    Udp,
+    /// TCP (6).
+    Tcp,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl IpProto {
+    /// Returns the 8-bit wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IpProto::Udp => 17,
+            IpProto::Tcp => 6,
+            IpProto::Other(v) => v,
+        }
+    }
+
+    /// Builds a protocol from the wire value.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            17 => IpProto::Udp,
+            6 => IpProto::Tcp,
+            other => IpProto::Other(other),
+        }
+    }
+}
+
+/// An IPv4 packet: addressing plus a typed transport payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ipv4Packet {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Time to live.
+    pub ttl: u8,
+    /// DSCP/ECN byte (kept for wire fidelity; unused by forwarding).
+    pub tos: u8,
+    /// The transport payload.
+    pub transport: Transport,
+}
+
+impl Ipv4Packet {
+    /// Returns the protocol number of the transport.
+    pub fn proto(&self) -> IpProto {
+        match self.transport {
+            Transport::Udp(_) => IpProto::Udp,
+            Transport::Tcp(_) => IpProto::Tcp,
+            Transport::Raw { proto, .. } => proto,
+        }
+    }
+
+    /// Total IPv4 packet length in bytes (header + transport).
+    pub fn len(&self) -> u32 {
+        20 + self.transport.len()
+    }
+
+    /// Returns true when the packet carries no transport bytes.
+    pub fn is_empty(&self) -> bool {
+        self.transport.len() == 0
+    }
+}
+
+/// The transport layer inside an IPv4 packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Transport {
+    /// A UDP datagram.
+    Udp(UdpDatagram),
+    /// A TCP segment.
+    Tcp(TcpSegment),
+    /// An unmodelled transport: protocol number plus payload length.
+    Raw {
+        /// IP protocol number.
+        proto: IpProto,
+        /// Payload length in bytes.
+        len: u32,
+    },
+}
+
+impl Transport {
+    /// Transport length in bytes, including its own header.
+    pub fn len(&self) -> u32 {
+        match self {
+            Transport::Udp(u) => 8 + u.payload.len(),
+            Transport::Tcp(t) => 20 + t.payload_len,
+            Transport::Raw { len, .. } => *len,
+        }
+    }
+
+    /// Returns true when the transport carries no bytes at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A UDP datagram.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// Typed payload.
+    pub payload: UdpPayload,
+}
+
+/// What a UDP datagram carries.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UdpPayload {
+    /// Opaque application data of the given length.
+    Data(u32),
+    /// A load-generator probe: sequence number (the tap correlates probes by
+    /// frame id; the sequence survives serialization as the first 8 payload
+    /// bytes) padded to the given total payload length.
+    Probe {
+        /// Monotonic per-flow sequence number.
+        seq: u64,
+        /// Total payload length in bytes (at least 8).
+        len: u32,
+    },
+    /// A VXLAN-encapsulated inner Ethernet frame (RFC 7348).
+    Vxlan {
+        /// The 24-bit VXLAN network identifier.
+        vni: Vni,
+        /// The encapsulated frame.
+        inner: Box<Frame>,
+    },
+}
+
+impl UdpPayload {
+    /// Payload length in bytes (excluding the UDP header).
+    pub fn len(&self) -> u32 {
+        match self {
+            UdpPayload::Data(n) => *n,
+            UdpPayload::Probe { len, .. } => (*len).max(8),
+            // 8-byte VXLAN header plus the inner frame without its FCS.
+            UdpPayload::Vxlan { inner, .. } => 8 + inner.len_without_fcs(),
+        }
+    }
+
+    /// Returns true for zero-length data payloads.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A minimal `bitflags`-style macro so we avoid an extra dependency.
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $($(#[$fmeta:meta])* const $flag:ident = $val:expr;)*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+        pub struct $name($ty);
+
+        impl $name {
+            $($(#[$fmeta])* pub const $flag: $name = $name($val);)*
+
+            /// The empty flag set.
+            pub const fn empty() -> Self {
+                $name(0)
+            }
+
+            /// Returns the raw bits.
+            pub const fn bits(self) -> $ty {
+                self.0
+            }
+
+            /// Builds a flag set from raw bits (unknown bits preserved).
+            pub const fn from_bits(bits: $ty) -> Self {
+                $name(bits)
+            }
+
+            /// Returns whether all bits of `other` are set in `self`.
+            pub const fn contains(self, other: Self) -> bool {
+                self.0 & other.0 == other.0
+            }
+
+            /// Returns whether any bits of `other` are set in `self`.
+            pub const fn intersects(self, other: Self) -> bool {
+                self.0 & other.0 != 0
+            }
+        }
+
+        impl std::ops::BitOr for $name {
+            type Output = Self;
+            fn bitor(self, rhs: Self) -> Self {
+                $name(self.0 | rhs.0)
+            }
+        }
+
+        impl std::ops::BitOrAssign for $name {
+            fn bitor_assign(&mut self, rhs: Self) {
+                self.0 |= rhs.0;
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let mut first = true;
+                $(
+                    if self.contains($name::$flag) {
+                        if !first { write!(f, "|")?; }
+                        write!(f, stringify!($flag))?;
+                        first = false;
+                    }
+                )*
+                if first {
+                    write!(f, "(none)")?;
+                }
+                Ok(())
+            }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// TCP header flags (the subset the stack uses).
+    pub struct TcpFlags: u8 {
+        /// FIN: sender is done.
+        const FIN = 0x01;
+        /// SYN: synchronize sequence numbers.
+        const SYN = 0x02;
+        /// RST: reset the connection.
+        const RST = 0x04;
+        /// PSH: push buffered data.
+        const PSH = 0x08;
+        /// ACK: acknowledgment field is valid.
+        const ACK = 0x10;
+    }
+}
+
+
+/// A TCP segment; data is modelled as a length.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TcpSegment {
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// Sequence number of the first payload byte.
+    pub seq: u32,
+    /// Acknowledgment number (valid when ACK is set).
+    pub ack: u32,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window in bytes.
+    pub window: u16,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+}
+
+impl TcpSegment {
+    /// Sequence space consumed by this segment (payload plus SYN/FIN).
+    pub fn seq_space(&self) -> u32 {
+        let mut n = self.payload_len;
+        if self.flags.contains(TcpFlags::SYN) {
+            n += 1;
+        }
+        if self.flags.contains(TcpFlags::FIN) {
+            n += 1;
+        }
+        n
+    }
+
+    /// The sequence number following this segment.
+    pub fn seq_end(&self) -> u32 {
+        self.seq.wrapping_add(self.seq_space())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proto_wire_roundtrip() {
+        for v in [6u8, 17, 1, 89] {
+            assert_eq!(IpProto::from_u8(v).to_u8(), v);
+        }
+        assert_eq!(IpProto::from_u8(6), IpProto::Tcp);
+        assert_eq!(IpProto::from_u8(17), IpProto::Udp);
+    }
+
+    #[test]
+    fn lengths_add_up() {
+        let pkt = Ipv4Packet {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            ttl: 64,
+            tos: 0,
+            transport: Transport::Udp(UdpDatagram {
+                sport: 1000,
+                dport: 2000,
+                payload: UdpPayload::Data(100),
+            }),
+        };
+        assert_eq!(pkt.len(), 20 + 8 + 100);
+        assert_eq!(pkt.proto(), IpProto::Udp);
+    }
+
+    #[test]
+    fn probe_payload_reserves_sequence_bytes() {
+        let p = UdpPayload::Probe { seq: 1, len: 4 };
+        assert_eq!(p.len(), 8, "probe payload can never be shorter than its seq");
+        let p = UdpPayload::Probe { seq: 1, len: 26 };
+        assert_eq!(p.len(), 26);
+    }
+
+    #[test]
+    fn tcp_flags_algebra() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::FIN));
+        assert!(f.intersects(TcpFlags::SYN));
+        assert!(!f.intersects(TcpFlags::RST));
+        assert_eq!(format!("{f:?}"), "SYN|ACK");
+        assert_eq!(format!("{:?}", TcpFlags::empty()), "(none)");
+        assert_eq!(TcpFlags::from_bits(f.bits()), f);
+    }
+
+    #[test]
+    fn tcp_seq_space_counts_syn_and_fin() {
+        let mut s = TcpSegment {
+            sport: 1,
+            dport: 2,
+            seq: 100,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 65535,
+            payload_len: 0,
+        };
+        assert_eq!(s.seq_space(), 1);
+        assert_eq!(s.seq_end(), 101);
+        s.flags = TcpFlags::ACK;
+        s.payload_len = 500;
+        assert_eq!(s.seq_space(), 500);
+        s.flags = TcpFlags::FIN | TcpFlags::ACK;
+        assert_eq!(s.seq_space(), 501);
+    }
+
+    #[test]
+    fn seq_end_wraps() {
+        let s = TcpSegment {
+            sport: 1,
+            dport: 2,
+            seq: u32::MAX,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            window: 0,
+            payload_len: 2,
+        };
+        assert_eq!(s.seq_end(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Classic pcap capture writing (libpcap 2.4 format).
+//!
+//! The testbed's passive tap can serialize every observed frame through the
+//! byte-exact wire codec into a standard `.pcap` byte stream, readable by
+//! Wireshark/tcpdump — the simulated analogue of the Endace DAG capture the
+//! paper's methodology is built on.
+
+use crate::frame::Frame;
+use crate::wire::serialize_without_fcs;
+
+/// Magic for microsecond-resolution pcap, little-endian.
+const MAGIC: u32 = 0xa1b2_c3d4;
+/// Link type LINKTYPE_ETHERNET.
+const LINKTYPE_EN10MB: u32 = 1;
+
+/// An in-memory pcap stream.
+///
+/// # Examples
+///
+/// ```
+/// use mts_net::{pcap::PcapWriter, Frame, MacAddr};
+/// use std::net::Ipv4Addr;
+///
+/// let mut w = PcapWriter::new();
+/// let f = Frame::udp_data(MacAddr::local(1), MacAddr::local(2),
+///     Ipv4Addr::new(10,0,0,1), Ipv4Addr::new(10,0,0,2), 1, 2, 100);
+/// w.record(1_500, &f);
+/// let bytes = w.into_bytes();
+/// assert_eq!(&bytes[0..4], &0xa1b2c3d4u32.to_le_bytes());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcapWriter {
+    buf: Vec<u8>,
+    records: u64,
+    snaplen: u32,
+}
+
+impl Default for PcapWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PcapWriter {
+    /// Creates a stream with the standard 64 KiB snap length.
+    pub fn new() -> Self {
+        Self::with_snaplen(65_535)
+    }
+
+    /// Creates a stream with a custom snap length.
+    pub fn with_snaplen(snaplen: u32) -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes()); // major
+        buf.extend_from_slice(&4u16.to_le_bytes()); // minor
+        buf.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        buf.extend_from_slice(&snaplen.to_le_bytes());
+        buf.extend_from_slice(&LINKTYPE_EN10MB.to_le_bytes());
+        PcapWriter {
+            buf,
+            records: 0,
+            snaplen,
+        }
+    }
+
+    /// Number of recorded packets.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Appends one frame observed at `ts_ns` nanoseconds since start.
+    ///
+    /// The frame is serialized byte-exactly (without FCS, as Ethernet
+    /// captures conventionally are) and truncated to the snap length.
+    pub fn record(&mut self, ts_ns: u64, frame: &Frame) {
+        let bytes = serialize_without_fcs(frame);
+        let orig_len = bytes.len() as u32;
+        let incl_len = orig_len.min(self.snaplen);
+        let ts_sec = (ts_ns / 1_000_000_000) as u32;
+        let ts_usec = ((ts_ns % 1_000_000_000) / 1_000) as u32;
+        self.buf.extend_from_slice(&ts_sec.to_le_bytes());
+        self.buf.extend_from_slice(&ts_usec.to_le_bytes());
+        self.buf.extend_from_slice(&incl_len.to_le_bytes());
+        self.buf.extend_from_slice(&orig_len.to_le_bytes());
+        self.buf.extend_from_slice(&bytes[..incl_len as usize]);
+        self.records += 1;
+    }
+
+    /// Returns the pcap byte stream.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Returns the current stream length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns whether any packet has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Writes the stream to a file.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, &self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn frame() -> Frame {
+        Frame::udp_data(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            100,
+        )
+    }
+
+    #[test]
+    fn header_is_24_bytes_with_magic() {
+        let w = PcapWriter::new();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(&bytes[0..4], &MAGIC.to_le_bytes());
+        assert_eq!(&bytes[20..24], &1u32.to_le_bytes()); // ethernet
+    }
+
+    #[test]
+    fn record_layout_and_lengths() {
+        let mut w = PcapWriter::new();
+        let f = frame();
+        let wire = serialize_without_fcs(&f);
+        w.record(1_234_567_890_123, &f);
+        let bytes = w.into_bytes();
+        let rec = &bytes[24..];
+        // Timestamp: 1234.56789s.
+        assert_eq!(&rec[0..4], &1234u32.to_le_bytes());
+        assert_eq!(&rec[4..8], &567_890u32.to_le_bytes());
+        assert_eq!(&rec[8..12], &(wire.len() as u32).to_le_bytes());
+        assert_eq!(&rec[12..16], &(wire.len() as u32).to_le_bytes());
+        assert_eq!(&rec[16..], &wire[..]);
+    }
+
+    #[test]
+    fn snaplen_truncates_but_keeps_orig_len() {
+        let mut w = PcapWriter::with_snaplen(40);
+        let f = frame();
+        let wire_len = serialize_without_fcs(&f).len() as u32;
+        assert!(wire_len > 40);
+        w.record(0, &f);
+        let bytes = w.into_bytes();
+        let rec = &bytes[24..];
+        assert_eq!(&rec[8..12], &40u32.to_le_bytes()); // incl_len
+        assert_eq!(&rec[12..16], &wire_len.to_le_bytes()); // orig_len
+        assert_eq!(rec.len(), 16 + 40);
+    }
+
+    #[test]
+    fn multiple_records_accumulate() {
+        let mut w = PcapWriter::new();
+        assert!(w.is_empty());
+        for i in 0..5 {
+            w.record(i * 1_000, &frame());
+        }
+        assert_eq!(w.records(), 5);
+        assert!(!w.is_empty());
+        assert!(w.len() > 24 + 5 * 16);
+    }
+}

@@ -1,0 +1,192 @@
+//! Wildcard security filters applied by the embedded NIC switch.
+//!
+//! The paper's system-support section calls for "flow-based wildcard
+//! filters … applied in the NIC for additional security, e.g., to drop
+//! packets not destined to the vswitch compartment, to prevent the Host
+//! from receiving packets from the tenant VMs" (Sec. 3.2). These filters
+//! match on the ingress port (exactly or by class), MAC addresses, VLAN and
+//! EtherType, in priority order, before forwarding.
+
+use crate::vf::{NicPort, VfId};
+use mts_net::{EtherType, Frame, MacAddr};
+use serde::{Deserialize, Serialize};
+
+/// What a matching filter does with the frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FilterAction {
+    /// Let the frame continue to forwarding.
+    Allow,
+    /// Silently drop the frame.
+    Drop,
+}
+
+/// Matches the ingress port of a frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PortClass {
+    /// Any port.
+    Any,
+    /// Only the wire.
+    Wire,
+    /// Only the PF.
+    Pf,
+    /// Any VF.
+    AnyVf,
+    /// One specific VF.
+    Vf(VfId),
+}
+
+impl PortClass {
+    /// Returns whether `port` belongs to this class.
+    pub fn matches(self, port: NicPort) -> bool {
+        match (self, port) {
+            (PortClass::Any, _) => true,
+            (PortClass::Wire, NicPort::Wire) => true,
+            (PortClass::Pf, NicPort::Pf) => true,
+            (PortClass::AnyVf, NicPort::Vf(_)) => true,
+            (PortClass::Vf(want), NicPort::Vf(got)) => want == got,
+            _ => false,
+        }
+    }
+}
+
+/// One wildcard filter rule. Unset fields match anything.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterRule {
+    /// Higher priorities are evaluated first.
+    pub priority: u16,
+    /// Ingress port constraint.
+    pub from: PortClass,
+    /// Source MAC constraint.
+    pub src_mac: Option<MacAddr>,
+    /// Destination MAC constraint.
+    pub dst_mac: Option<MacAddr>,
+    /// VLAN id constraint (as seen *inside* the switch, after VST tagging).
+    pub vlan: Option<u16>,
+    /// EtherType constraint.
+    pub ethertype: Option<EtherType>,
+    /// The action on match.
+    pub action: FilterAction,
+}
+
+impl FilterRule {
+    /// A rule that drops everything from a port class (lowest priority 0).
+    pub fn drop_all_from(from: PortClass) -> Self {
+        FilterRule {
+            priority: 0,
+            from,
+            src_mac: None,
+            dst_mac: None,
+            vlan: None,
+            ethertype: None,
+            action: FilterAction::Drop,
+        }
+    }
+
+    /// An allow rule for traffic from `from` to a specific destination MAC.
+    pub fn allow_to(from: PortClass, dst_mac: MacAddr, priority: u16) -> Self {
+        FilterRule {
+            priority,
+            from,
+            src_mac: None,
+            dst_mac: Some(dst_mac),
+            vlan: None,
+            ethertype: None,
+            action: FilterAction::Allow,
+        }
+    }
+
+    /// Returns whether this rule matches a frame as seen inside the switch.
+    ///
+    /// `vlan` is the frame's effective VLAN (0 when untagged).
+    pub fn matches(&self, from: NicPort, frame: &Frame, vlan: u16) -> bool {
+        self.from.matches(from)
+            && self.src_mac.is_none_or(|m| m == frame.src)
+            && self.dst_mac.is_none_or(|m| m == frame.dst)
+            && self.vlan.is_none_or(|v| v == vlan)
+            && self.ethertype.is_none_or(|e| e == frame.ethertype())
+    }
+}
+
+/// Evaluates filters in priority order; returns the first match's action.
+///
+/// No match means [`FilterAction::Allow`] (filters are an extra guard, not
+/// the primary isolation mechanism).
+pub fn evaluate(rules: &[FilterRule], from: NicPort, frame: &Frame, vlan: u16) -> FilterAction {
+    rules
+        .iter()
+        .filter(|r| r.matches(from, frame, vlan))
+        .max_by_key(|r| r.priority)
+        .map(|r| r.action)
+        .unwrap_or(FilterAction::Allow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn frame(src: MacAddr, dst: MacAddr) -> Frame {
+        Frame::udp_data(
+            src,
+            dst,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            10,
+        )
+    }
+
+    #[test]
+    fn port_classes_match_expected_ports() {
+        assert!(PortClass::Any.matches(NicPort::Wire));
+        assert!(PortClass::AnyVf.matches(NicPort::Vf(VfId(3))));
+        assert!(!PortClass::AnyVf.matches(NicPort::Pf));
+        assert!(PortClass::Vf(VfId(3)).matches(NicPort::Vf(VfId(3))));
+        assert!(!PortClass::Vf(VfId(3)).matches(NicPort::Vf(VfId(4))));
+        assert!(PortClass::Pf.matches(NicPort::Pf));
+        assert!(!PortClass::Wire.matches(NicPort::Pf));
+    }
+
+    #[test]
+    fn default_is_allow() {
+        let f = frame(MacAddr::local(1), MacAddr::local(2));
+        assert_eq!(evaluate(&[], NicPort::Wire, &f, 0), FilterAction::Allow);
+    }
+
+    #[test]
+    fn higher_priority_wins() {
+        let gw = MacAddr::local(9);
+        let rules = vec![
+            FilterRule::drop_all_from(PortClass::AnyVf),
+            FilterRule::allow_to(PortClass::AnyVf, gw, 10),
+        ];
+        let to_gw = frame(MacAddr::local(1), gw);
+        let to_other = frame(MacAddr::local(1), MacAddr::local(2));
+        assert_eq!(
+            evaluate(&rules, NicPort::Vf(VfId(0)), &to_gw, 1),
+            FilterAction::Allow
+        );
+        assert_eq!(
+            evaluate(&rules, NicPort::Vf(VfId(0)), &to_other, 1),
+            FilterAction::Drop
+        );
+        // Frames from the wire are untouched by the VF-scoped rules.
+        assert_eq!(
+            evaluate(&rules, NicPort::Wire, &to_other, 0),
+            FilterAction::Allow
+        );
+    }
+
+    #[test]
+    fn vlan_and_ethertype_constraints() {
+        let mut r = FilterRule::drop_all_from(PortClass::Any);
+        r.vlan = Some(7);
+        r.ethertype = Some(EtherType::Ipv4);
+        let f = frame(MacAddr::local(1), MacAddr::local(2));
+        assert!(r.matches(NicPort::Wire, &f, 7));
+        assert!(!r.matches(NicPort::Wire, &f, 8));
+        r.ethertype = Some(EtherType::Arp);
+        assert!(!r.matches(NicPort::Wire, &f, 7));
+    }
+}

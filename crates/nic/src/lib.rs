@@ -1,0 +1,34 @@
+//! SR-IOV NIC simulator with an embedded VEB L2 switch.
+//!
+//! Models the NIC at the centre of the MTS architecture (paper Sec. 3.1):
+//! a PCIe device exposing one *physical function* (PF) per physical port and
+//! up to 64 *virtual functions* (VFs) per PF. Frames between PFs, VFs and
+//! the wire are forwarded by an embedded L2 switch following IEEE 802.1Qbg
+//! *Virtual Ethernet Bridging*:
+//!
+//! - per-VLAN MAC learning with flooding of unknown unicast/broadcast,
+//! - VST ("VLAN switch tagging"): a VF configured with a VLAN id has frames
+//!   tagged on ingress and stripped on egress, exactly the mechanism MTS
+//!   uses to pin tenants to their vswitch compartment (Fig. 3),
+//! - MAC anti-spoofing on VF ingress,
+//! - operator-installed wildcard security filters ("drop packets not
+//!   destined to the vswitch compartment", "prevent the Host from receiving
+//!   packets from tenant VMs", Sec. 3.2),
+//! - a capacity model: PCIe DMA cost per VF crossing and a rate-limited
+//!   VF↔VF *hairpin* engine — the mechanism behind the paper's ≈2.3 Mpps
+//!   saturation when packets "bounce off the NIC twice" (Sec. 4.1).
+//!
+//! Only the host (PF driver) may configure VFs; the VM-facing API is
+//! restricted, mirroring the privilege split the paper relies on.
+
+pub mod filter;
+pub mod model;
+pub mod nic;
+pub mod switch;
+pub mod vf;
+
+pub use filter::{FilterAction, FilterRule, PortClass};
+pub use model::NicModel;
+pub use nic::{NicError, PfId, SriovNic};
+pub use switch::{Delivery, PfSwitch, SwitchCounters};
+pub use vf::{NicPort, VfConfig, VfId};

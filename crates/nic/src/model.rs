@@ -1,0 +1,100 @@
+//! NIC timing and capacity parameters.
+//!
+//! These constants embody the hardware behaviour the evaluation depends on;
+//! `mts-core` charges them to simulated time. Values are calibrated to a
+//! 10G Mellanox ConnectX-4-class NIC on PCIe 3.0 x8 (see DESIGN.md §3).
+
+use mts_sim::{Dur, Link, Server};
+use serde::{Deserialize, Serialize};
+
+/// Timing/capacity parameters of the SR-IOV NIC.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NicModel {
+    /// Cut-through latency of the embedded switch per traversal.
+    pub switch_latency: Dur,
+    /// Latency of one PCIe DMA crossing (NIC ↔ VM memory), excluding
+    /// serialization.
+    pub pcie_latency: Dur,
+    /// Effective usable PCIe bandwidth per direction, bits/second. A
+    /// typical x8 PCIe 3.0 NIC has ≈50 Gbps usable bidirectional
+    /// (Neugebauer et al., SIGCOMM'18, cited in Sec. 6).
+    pub pcie_bw_bps: u64,
+    /// VF↔VF hairpin engine rate, traversals/second per PF. This is the
+    /// saturation mechanism for MTS's NIC-bounced traffic (Sec. 4.1).
+    pub hairpin_rate_pps: u64,
+    /// Backlog bound of the hairpin engine before it tail-drops.
+    pub hairpin_backlog: Dur,
+    /// Wire bandwidth of each physical port, bits/second.
+    pub wire_bw_bps: u64,
+    /// Wire propagation delay (short optical link).
+    pub wire_propagation: Dur,
+}
+
+impl Default for NicModel {
+    fn default() -> Self {
+        NicModel {
+            switch_latency: Dur::nanos(300),
+            pcie_latency: Dur::nanos(450),
+            pcie_bw_bps: 50_000_000_000,
+            hairpin_rate_pps: 2_300_000,
+            hairpin_backlog: Dur::micros(200),
+            wire_bw_bps: 10_000_000_000,
+            wire_propagation: Dur::nanos(50),
+        }
+    }
+}
+
+impl NicModel {
+    /// Builds the shared PCIe link resource for this NIC.
+    pub fn pcie_link(&self) -> Link {
+        Link::new(self.pcie_bw_bps, self.pcie_latency)
+    }
+
+    /// Builds one PF's hairpin engine.
+    pub fn hairpin_server(&self) -> Server {
+        Server::new(self.hairpin_rate_pps, self.hairpin_backlog)
+    }
+
+    /// Builds one physical port's wire link.
+    pub fn wire_link(&self) -> Link {
+        Link::new(self.wire_bw_bps, self.wire_propagation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mts_sim::{ServerDecision, Time};
+
+    #[test]
+    fn default_model_is_10g_pcie3() {
+        let m = NicModel::default();
+        assert_eq!(m.wire_bw_bps, 10_000_000_000);
+        assert!(m.pcie_bw_bps > m.wire_bw_bps);
+        assert!(m.hairpin_rate_pps < 14_880_952); // below 10G 64B line rate
+    }
+
+    #[test]
+    fn hairpin_server_caps_at_the_configured_rate() {
+        let m = NicModel::default();
+        let mut s = m.hairpin_server();
+        // Offer far more than a second of traversals instantly; the backlog
+        // bound kicks in quickly.
+        let (_, drops) = s.offer_batch(Time::ZERO, 10_000);
+        assert!(drops > 0);
+        // Service time matches the configured rate.
+        assert_eq!(s.service_time(), Dur::nanos(1_000_000_000 / 2_300_000));
+        match s.offer(Time::from_nanos(10_000_000_000)) {
+            ServerDecision::Done(_) => {}
+            ServerDecision::Dropped => panic!("server must accept after idle"),
+        }
+    }
+
+    #[test]
+    fn wire_link_serializes_at_line_rate() {
+        let m = NicModel::default();
+        let l = m.wire_link();
+        // 64B at 10G = 51.2ns -> 14.88 Mpps with preamble ignored.
+        assert_eq!(l.serialization(64), Dur::nanos(51));
+    }
+}

@@ -1,0 +1,255 @@
+//! The deterministic discrete-event engine.
+//!
+//! [`Engine`] is generic over a *world* type `W` — the mutable state of the
+//! whole simulation. Events are boxed `FnOnce(&mut W, &mut Engine<W>)`
+//! closures ordered by `(time, sequence)`: two events scheduled for the same
+//! instant fire in the order they were scheduled, which makes runs
+//! reproducible bit-for-bit.
+
+use crate::time::{Dur, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: a closure plus its firing time and tie-break sequence.
+struct Scheduled<W> {
+    at: Time,
+    seq: u64,
+    run: Box<dyn FnOnce(&mut W, &mut Engine<W>)>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap but we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler over a world type `W`.
+///
+/// # Examples
+///
+/// ```
+/// use mts_sim::{Engine, Dur, Time};
+///
+/// let mut engine: Engine<Vec<u64>> = Engine::new();
+/// let mut world = Vec::new();
+/// engine.schedule_after(Dur::micros(2), |w: &mut Vec<u64>, _e| w.push(2));
+/// engine.schedule_after(Dur::micros(1), |w: &mut Vec<u64>, e| {
+///     w.push(1);
+///     // Events may schedule further events.
+///     e.schedule_after(Dur::micros(5), |w: &mut Vec<u64>, _e| w.push(6));
+/// });
+/// engine.run(&mut world);
+/// assert_eq!(world, vec![1, 2, 6]);
+/// assert_eq!(engine.now(), Time::from_nanos(6_000));
+/// ```
+pub struct Engine<W> {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    fired: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an empty engine with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            fired: 0,
+        }
+    }
+
+    /// Returns the current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Returns how many events have fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Returns how many events are pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Events scheduled in the past fire "now" (the clock never goes
+    /// backwards), preserving causal order.
+    pub fn schedule_at<F>(&mut self, at: Time, event: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(event),
+        });
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after<F>(&mut self, delay: Dur, event: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Runs events until the queue is empty.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Runs events with a firing time `<= deadline`; later events stay queued.
+    ///
+    /// After returning, the clock rests at `deadline` (or later if an event at
+    /// exactly `deadline` advanced it — the clock only moves to event times,
+    /// so it rests at `max(now, deadline)` conceptually; we clamp to
+    /// `deadline` if no event moved past it).
+    pub fn run_until(&mut self, world: &mut W, deadline: Time) {
+        loop {
+            match self.queue.peek() {
+                Some(head) if head.at <= deadline => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Fires the single earliest event. Returns `false` if the queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "event queue went backwards");
+                self.now = ev.at;
+                self.fired += 1;
+                (ev.run)(world, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops all pending events without firing them.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        let mut w = Vec::new();
+        e.schedule_at(Time::from_nanos(30), |w: &mut Vec<u32>, _| w.push(3));
+        e.schedule_at(Time::from_nanos(10), |w: &mut Vec<u32>, _| w.push(1));
+        e.schedule_at(Time::from_nanos(20), |w: &mut Vec<u32>, _| w.push(2));
+        e.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3]);
+        assert_eq!(e.events_fired(), 3);
+    }
+
+    #[test]
+    fn same_instant_fires_in_schedule_order() {
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        let mut w = Vec::new();
+        for i in 0..100 {
+            e.schedule_at(Time::from_nanos(5), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        e.run(&mut w);
+        assert_eq!(w, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut e: Engine<Vec<u64>> = Engine::new();
+        let mut w = Vec::new();
+        e.schedule_at(Time::from_nanos(100), |w: &mut Vec<u64>, e: &mut Engine<Vec<u64>>| {
+            // Scheduling "in the past" must not rewind the clock.
+            e.schedule_at(Time::from_nanos(1), |w: &mut Vec<u64>, e| {
+                w.push(e.now().as_nanos())
+            });
+            w.push(e.now().as_nanos());
+        });
+        e.run(&mut w);
+        assert_eq!(w, vec![100, 100]);
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_queued() {
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        let mut w = Vec::new();
+        e.schedule_at(Time::from_nanos(10), |w: &mut Vec<u32>, _| w.push(1));
+        e.schedule_at(Time::from_nanos(20), |w: &mut Vec<u32>, _| w.push(2));
+        e.run_until(&mut w, Time::from_nanos(15));
+        assert_eq!(w, vec![1]);
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.now(), Time::from_nanos(15));
+        e.run(&mut w);
+        assert_eq!(w, vec![1, 2]);
+    }
+
+    #[test]
+    fn cascading_events_run_to_completion() {
+        // A chain of events each scheduling the next; checks depth behaviour.
+        fn chain(n: u32) -> impl FnOnce(&mut u32, &mut Engine<u32>) {
+            move |w: &mut u32, e: &mut Engine<u32>| {
+                *w += 1;
+                if n > 0 {
+                    e.schedule_after(Dur::nanos(1), chain(n - 1));
+                }
+            }
+        }
+        let mut e: Engine<u32> = Engine::new();
+        let mut w = 0u32;
+        e.schedule_at(Time::ZERO, chain(999));
+        e.run(&mut w);
+        assert_eq!(w, 1000);
+        assert_eq!(e.now(), Time::from_nanos(999));
+    }
+
+    #[test]
+    fn clear_discards_pending() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(Dur::secs(1), |w: &mut u32, _| *w += 1);
+        e.clear();
+        let mut w = 0;
+        e.run(&mut w);
+        assert_eq!(w, 0);
+    }
+}

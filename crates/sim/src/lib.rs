@@ -1,0 +1,35 @@
+//! Deterministic discrete-event simulation engine for the MTS reproduction.
+//!
+//! This crate is the lowest layer of the stack: it knows nothing about
+//! packets, NICs or virtual switches. It provides:
+//!
+//! - [`Time`] and [`Dur`]: nanosecond-resolution simulated time,
+//! - [`Engine`]: a deterministic event queue generic over a world type,
+//! - [`CpuCore`] / [`CorePool`]: a CPU contention model with context-switch
+//!   penalties and per-user accounting (used for the shared/isolated
+//!   resource modes of the paper),
+//! - [`Link`] and [`Server`]: bandwidth/propagation and rate-limited server
+//!   models (used for physical ports, the PCIe bus and the NIC hairpin
+//!   budget),
+//! - [`Histogram`] and summary statistics (used for the latency figures),
+//! - [`Ring`]: a bounded FIFO with drop accounting (rx rings, vhost queues).
+//!
+//! All behaviour is deterministic given a seed: events scheduled for the
+//! same instant fire in schedule order, and randomness flows exclusively
+//! through the seeded [`rng::DetRng`].
+
+pub mod cpu;
+pub mod engine;
+pub mod link;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use cpu::{CoreId, CorePool, CpuCore};
+pub use engine::Engine;
+pub use link::{Link, Server, ServerDecision};
+pub use queue::Ring;
+pub use rng::DetRng;
+pub use stats::{mean_ci95, Histogram, Summary, Welford};
+pub use time::{Dur, Time};

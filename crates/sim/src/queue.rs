@@ -1,0 +1,155 @@
+//! Bounded FIFO rings with drop accounting.
+//!
+//! Receive rings, vhost virtqueues and DPDK port queues are all bounded: when
+//! the consumer falls behind, frames are tail-dropped. [`Ring`] counts those
+//! drops so experiments can report loss.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO queue that tail-drops on overflow and counts drops.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    capacity: usize,
+    items: VecDeque<T>,
+    enqueued: u64,
+    dropped: u64,
+    high_watermark: usize,
+}
+
+impl<T> Ring<T> {
+    /// Creates an empty ring holding at most `capacity` items.
+    ///
+    /// A capacity of zero is clamped to one.
+    pub fn new(capacity: usize) -> Self {
+        Ring {
+            capacity: capacity.max(1),
+            items: VecDeque::new(),
+            enqueued: 0,
+            dropped: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Attempts to enqueue an item; returns `false` (and counts a drop) when full.
+    pub fn push(&mut self, item: T) -> bool {
+        if self.items.len() >= self.capacity {
+            self.dropped += 1;
+            false
+        } else {
+            self.items.push_back(item);
+            self.enqueued += 1;
+            self.high_watermark = self.high_watermark.max(self.items.len());
+            true
+        }
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Dequeues up to `n` items (a burst).
+    pub fn pop_burst(&mut self, n: usize) -> Vec<T> {
+        let take = n.min(self.items.len());
+        self.items.drain(..take).collect()
+    }
+
+    /// Returns the current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns whether the ring is full.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Returns the configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of items ever enqueued successfully.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Returns the number of items dropped on overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Returns the maximum occupancy ever observed.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Removes all items, keeping statistics.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut r = Ring::new(4);
+        for i in 0..4 {
+            assert!(r.push(i));
+        }
+        assert_eq!(r.pop(), Some(0));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut r = Ring::new(2);
+        assert!(r.push('a'));
+        assert!(r.push('b'));
+        assert!(!r.push('c'));
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.enqueued(), 2);
+        assert!(r.is_full());
+    }
+
+    #[test]
+    fn burst_pop_takes_at_most_n() {
+        let mut r = Ring::new(8);
+        for i in 0..5 {
+            r.push(i);
+        }
+        let burst = r.pop_burst(3);
+        assert_eq!(burst, vec![0, 1, 2]);
+        let rest = r.pop_burst(32);
+        assert_eq!(rest, vec![3, 4]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = Ring::new(0);
+        assert_eq!(r.capacity(), 1);
+        assert!(r.push(1));
+        assert!(!r.push(2));
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak() {
+        let mut r = Ring::new(10);
+        for i in 0..7 {
+            r.push(i);
+        }
+        r.pop_burst(7);
+        r.push(0);
+        assert_eq!(r.high_watermark(), 7);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the simulation substrate.
+
+use mts_sim::{CoreId, CpuCore, Dur, Engine, Histogram, Ring, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Histogram percentiles stay within ~3.2% of exact order statistics.
+    #[test]
+    fn histogram_tracks_exact_percentiles(
+        mut values in proptest::collection::vec(1u64..100_000_000, 50..400),
+        p in 1.0f64..99.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize - 1;
+        let exact = values[rank];
+        let approx = h.percentile(p);
+        // The bucket containing `exact` has a lower bound within 1/32.
+        prop_assert!(approx <= exact, "approx {} > exact {}", approx, exact);
+        prop_assert!(
+            exact - approx <= exact / 16 + 1,
+            "p{}: approx {} too far below exact {}",
+            p, approx, exact
+        );
+    }
+
+    /// Merging histograms equals recording everything into one.
+    #[test]
+    fn histogram_merge_is_homomorphic(
+        a in proptest::collection::vec(1u64..1_000_000, 1..200),
+        b in proptest::collection::vec(1u64..1_000_000, 1..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.min(), hall.min());
+        prop_assert_eq!(ha.max(), hall.max());
+        for p in [10.0, 50.0, 90.0] {
+            prop_assert_eq!(ha.percentile(p), hall.percentile(p));
+        }
+    }
+
+    /// Rings preserve FIFO order and never exceed capacity.
+    #[test]
+    fn ring_is_fifo_and_bounded(
+        cap in 1usize..64,
+        ops in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut r: Ring<u64> = Ring::new(cap);
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        let mut next = 0u64;
+        for push in ops {
+            if push {
+                let accepted = r.push(next);
+                if model.len() < cap {
+                    prop_assert!(accepted);
+                    model.push_back(next);
+                } else {
+                    prop_assert!(!accepted);
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(r.pop(), model.pop_front());
+            }
+            prop_assert!(r.len() <= cap);
+            prop_assert_eq!(r.len(), model.len());
+        }
+    }
+
+    /// Events fire in nondecreasing time order regardless of insertion order.
+    #[test]
+    fn engine_fires_in_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut e: Engine<Vec<u64>> = Engine::new();
+        let mut fired: Vec<u64> = Vec::new();
+        for &t in &times {
+            e.schedule_at(Time::from_nanos(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        e.run(&mut fired);
+        prop_assert_eq!(fired.len(), times.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0] <= w[1], "out of order: {:?}", w);
+        }
+    }
+
+    /// A core never grants overlapping intervals and time never reverses.
+    #[test]
+    fn core_grants_never_overlap(
+        reqs in proptest::collection::vec((0u64..1_000_000, 1u64..5_000, 0u64..4), 1..200),
+    ) {
+        let mut core = CpuCore::new(CoreId(0), Dur::nanos(120));
+        let mut sorted = reqs.clone();
+        sorted.sort_by_key(|(t, _, _)| *t);
+        let mut last_end = Time::ZERO;
+        for (t, cost, user) in sorted {
+            let g = core.acquire(Time::from_nanos(t), user, Dur::nanos(cost));
+            prop_assert!(g.start >= last_end, "overlap: {:?} < {:?}", g.start, last_end);
+            prop_assert!(g.end >= g.start + Dur::nanos(cost));
+            last_end = g.end;
+        }
+    }
+}

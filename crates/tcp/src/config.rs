@@ -1,0 +1,59 @@
+//! TCP configuration knobs.
+
+use mts_sim::Dur;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one TCP endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes (1448 for 1500-MTU Ethernet with
+    /// timestamps, the Linux default the paper's testbed would negotiate).
+    pub mss: u32,
+    /// Initial congestion window in segments (Linux default 10).
+    pub init_cwnd_segments: u32,
+    /// Minimum retransmission timeout (Linux: 200 ms).
+    pub rto_min: Dur,
+    /// Maximum retransmission timeout.
+    pub rto_max: Dur,
+    /// Initial RTO before any RTT sample (RFC 6298: 1 s).
+    pub rto_initial: Dur,
+    /// Advertised receive window in bytes (window scaling assumed).
+    pub recv_window: u32,
+    /// Delayed-ACK timeout (Linux: ~40 ms).
+    pub delack: Dur,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1448,
+            init_cwnd_segments: 10,
+            rto_min: Dur::millis(200),
+            rto_max: Dur::secs(120),
+            rto_initial: Dur::secs(1),
+            recv_window: 1 << 20,
+            delack: Dur::millis(40),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Initial congestion window in bytes.
+    pub fn init_cwnd(&self) -> u64 {
+        u64::from(self.mss) * u64::from(self.init_cwnd_segments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_linux_flavoured() {
+        let c = TcpConfig::default();
+        assert_eq!(c.mss, 1448);
+        assert_eq!(c.init_cwnd(), 14_480);
+        assert!(c.rto_min < c.rto_initial);
+        assert!(c.rto_initial < c.rto_max);
+    }
+}

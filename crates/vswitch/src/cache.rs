@@ -1,0 +1,239 @@
+//! The exact-match flow cache (OvS "megaflow" analogue).
+//!
+//! First packet of a flow takes the *slow path* (full pipeline traversal);
+//! the resolved concrete operation list is cached under the packet's header
+//! key so subsequent packets take the *fast path*. Any table modification
+//! or MAC-learning update bumps a generation counter, invalidating stale
+//! entries — the same revalidation discipline OvS applies.
+
+use crate::switch::{Op, PortNo};
+use mts_net::{Frame, Transport, UdpPayload, VXLAN_UDP_PORT};
+use std::collections::HashMap;
+
+/// The exact-match key: every field the pipeline may branch on.
+///
+/// For VXLAN-encapsulated packets the key also covers the VNI and the
+/// inner 5-tuple — a pipeline with a decapsulation stage branches on those
+/// (real OvS un-wildcards tunnel metadata and inner fields the same way).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowKey {
+    in_port: PortNo,
+    src: u64,
+    dst: u64,
+    vlan: u16, // 0 = untagged (VLAN 0 is never a real tag here)
+    ethertype: u16,
+    ip: Option<(u32, u32, u8, u16, u16)>,
+    /// `(vni, inner src ip, inner dst ip, inner sport, inner dport)`.
+    tunnel: Option<(u32, u32, u32, u16, u16)>,
+}
+
+impl FlowKey {
+    /// Extracts the key from a frame at its ingress port.
+    pub fn of(in_port: PortNo, frame: &Frame) -> Self {
+        let mut tunnel = None;
+        let ip = frame.ipv4().map(|p| {
+            let (sport, dport) = match &p.transport {
+                Transport::Udp(u) => {
+                    if u.dport == VXLAN_UDP_PORT {
+                        if let UdpPayload::Vxlan { vni, inner } = &u.payload {
+                            let (is, id, isp, idp) = inner
+                                .ipv4()
+                                .map(|iip| {
+                                    let (a, b) = match &iip.transport {
+                                        Transport::Udp(x) => (x.sport, x.dport),
+                                        Transport::Tcp(x) => (x.sport, x.dport),
+                                        Transport::Raw { .. } => (0, 0),
+                                    };
+                                    (u32::from(iip.src), u32::from(iip.dst), a, b)
+                                })
+                                .unwrap_or((0, 0, 0, 0));
+                            tunnel = Some((vni.value(), is, id, isp, idp));
+                        }
+                    }
+                    (u.sport, u.dport)
+                }
+                Transport::Tcp(t) => (t.sport, t.dport),
+                Transport::Raw { .. } => (0, 0),
+            };
+            (
+                u32::from(p.src),
+                u32::from(p.dst),
+                p.proto().to_u8(),
+                sport,
+                dport,
+            )
+        });
+        FlowKey {
+            in_port,
+            src: frame.src.as_u64(),
+            dst: frame.dst.as_u64(),
+            vlan: frame.vlan.map(|t| t.vid).unwrap_or(0),
+            ethertype: frame.ethertype().to_u16(),
+            ip,
+            tunnel,
+        }
+    }
+}
+
+struct CacheEntry {
+    ops: Vec<Op>,
+    /// Cookies of the rules this flow matched, for statistics push-back.
+    cookies: Vec<u64>,
+    generation: u64,
+}
+
+/// Statistics of the flow cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Fast-path hits.
+    pub hits: u64,
+    /// Misses (slow-path traversals).
+    pub misses: u64,
+    /// Hits rejected because the entry was stale.
+    pub stale: u64,
+    /// Whole-cache flushes due to capacity.
+    pub flushes: u64,
+}
+
+/// A bounded exact-match cache of resolved operation lists.
+pub struct FlowCache {
+    map: HashMap<FlowKey, CacheEntry>,
+    capacity: usize,
+    generation: u64,
+    stats: CacheStats,
+}
+
+impl FlowCache {
+    /// Creates a cache bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        FlowCache {
+            map: HashMap::new(),
+            capacity: capacity.max(16),
+            generation: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Returns the current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Invalidates all entries (table or learning state changed).
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Looks up the resolved operations and matched-rule cookies for a
+    /// key, if fresh.
+    pub fn get(&mut self, key: &FlowKey) -> Option<(Vec<Op>, Vec<u64>)> {
+        match self.map.get(key) {
+            Some(e) if e.generation == self.generation => {
+                self.stats.hits += 1;
+                Some((e.ops.clone(), e.cookies.clone()))
+            }
+            Some(_) => {
+                self.stats.stale += 1;
+                self.stats.misses += 1;
+                self.map.remove(key);
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a resolved operation list (plus matched-rule cookies) for a
+    /// key.
+    pub fn insert(&mut self, key: FlowKey, ops: Vec<Op>, cookies: Vec<u64>) {
+        if self.map.len() >= self.capacity {
+            // Capacity flush, as OvS does when revalidation falls behind.
+            self.map.clear();
+            self.stats.flushes += 1;
+        }
+        self.map.insert(
+            key,
+            CacheEntry {
+                ops,
+                cookies,
+                generation: self.generation,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mts_net::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn frame(dport: u16) -> Frame {
+        Frame::udp_data(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            dport,
+            10,
+        )
+    }
+
+    #[test]
+    fn key_distinguishes_flows_not_packets() {
+        let a1 = FlowKey::of(PortNo(1), &frame(80));
+        let a2 = FlowKey::of(PortNo(1), &frame(80));
+        let b = FlowKey::of(PortNo(1), &frame(81));
+        let c = FlowKey::of(PortNo(2), &frame(80));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_ne!(a1, c);
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = FlowCache::new(100);
+        let k = FlowKey::of(PortNo(1), &frame(80));
+        assert!(c.get(&k).is_none());
+        c.insert(k, vec![Op::Emit(PortNo(3))], vec![7]);
+        assert_eq!(c.get(&k), Some((vec![Op::Emit(PortNo(3))], vec![7])));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn generation_bump_invalidates() {
+        let mut c = FlowCache::new(100);
+        let k = FlowKey::of(PortNo(1), &frame(80));
+        c.insert(k, vec![Op::Emit(PortNo(3))], Vec::new());
+        c.bump_generation();
+        assert!(c.get(&k).is_none());
+        assert_eq!(c.stats().stale, 1);
+        // Re-inserted entries are fresh again.
+        c.insert(k, vec![Op::Emit(PortNo(4))], Vec::new());
+        assert_eq!(c.get(&k), Some((vec![Op::Emit(PortNo(4))], Vec::new())));
+    }
+
+    #[test]
+    fn capacity_flush() {
+        let mut c = FlowCache::new(16);
+        for i in 0..17 {
+            c.insert(FlowKey::of(PortNo(i), &frame(80)), vec![], vec![]);
+        }
+        assert_eq!(c.stats().flushes, 1);
+        assert!(c.len() <= 16);
+    }
+}

@@ -1,0 +1,32 @@
+//! Flow-table virtual switch — the Open vSwitch analogue of the MTS stack.
+//!
+//! The paper's Baseline and all MTS security levels run per-tenant *logical
+//! datapaths* on this switch: multi-table OpenFlow-style pipelines with
+//! priority matching, header-rewrite actions, a MAC-learning `NORMAL`
+//! action, VXLAN encap/decap, and an exact-match *megaflow* cache modelled
+//! after OvS's fast path. Per-packet CPU costs for the kernel and DPDK
+//! (user-space, poll-mode) datapaths live in [`datapath`]; the runtime in
+//! `mts-core` charges them to simulated cores.
+//!
+//! Modules:
+//!
+//! - [`flow`] — match structures ([`FlowMatch`], [`Ipv4Prefix`], VLAN match).
+//! - [`actions`] — the action set applied by matching rules.
+//! - [`table`] — priority-ordered flow tables with rule statistics.
+//! - [`cache`] — the exact-match flow cache (fast path).
+//! - [`switch`] — the switch itself: ports, pipeline execution, `NORMAL`.
+//! - [`datapath`] — per-packet cost models (kernel vs DPDK).
+
+pub mod actions;
+pub mod cache;
+pub mod datapath;
+pub mod flow;
+pub mod switch;
+pub mod table;
+
+pub use actions::Action;
+pub use cache::{FlowCache, FlowKey};
+pub use datapath::{DatapathCosts, DatapathKind};
+pub use flow::{FlowMatch, Ipv4Prefix, VlanMatch};
+pub use switch::{PortKind, PortNo, SwitchStats, VirtualSwitch};
+pub use table::{FlowRule, FlowTable, TableId};

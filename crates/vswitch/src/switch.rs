@@ -1,0 +1,881 @@
+//! The virtual switch: ports, pipeline execution and the `NORMAL` action.
+
+use crate::actions::Action;
+use crate::cache::{FlowCache, FlowKey};
+use crate::table::{FlowRule, FlowTable, TableId};
+use mts_net::{
+    Frame, Ipv4Packet, MacAddr, Payload, Transport, UdpDatagram, UdpPayload, Vni, VXLAN_UDP_PORT,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A switch port number (OpenFlow port).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct PortNo(pub u32);
+
+impl fmt::Display for PortNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// What backs a switch port — drives the runtime's cost accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PortKind {
+    /// A physical NIC port or PF (Baseline) attached directly.
+    Physical,
+    /// An SR-IOV VF (MTS vswitch-VM ports: In/Out VF, Gw VF).
+    VfBacked,
+    /// A kernel vhost/virtio channel to a local VM (Baseline tenant port).
+    Vhost,
+    /// A DPDK `dpdkvhostuserclient` port (Baseline Level-3 tenant port).
+    DpdkVhostUser,
+    /// A switch-internal port (management).
+    Internal,
+}
+
+/// Metadata of one switch port.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortInfo {
+    /// Human-readable name (e.g. `in_out0`, `gw-red0`, `vhost-t1`).
+    pub name: String,
+    /// Backing kind.
+    pub kind: PortKind,
+}
+
+/// Aggregate forwarding statistics of a switch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchStats {
+    /// Frames handed to the switch.
+    pub received: u64,
+    /// Frames emitted on ports.
+    pub emitted: u64,
+    /// Frames dropped because no rule matched.
+    pub no_match_drops: u64,
+    /// Frames dropped by explicit `Drop` actions.
+    pub action_drops: u64,
+    /// Frames dropped by TTL expiry.
+    pub ttl_drops: u64,
+    /// Frames dropped by failed decapsulation.
+    pub decap_drops: u64,
+    /// MAC-learning entries refused because the table was full.
+    pub learn_overflow: u64,
+}
+
+/// A concrete, fully-resolved datapath operation (what the cache stores).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Set destination MAC.
+    SetDst(MacAddr),
+    /// Set source MAC.
+    SetSrc(MacAddr),
+    /// Push a VLAN tag.
+    PushVlan(u16),
+    /// Pop the VLAN tag.
+    PopVlan,
+    /// Decrement TTL (drops the frame at zero).
+    DecTtl,
+    /// VXLAN-encapsulate.
+    Encap {
+        /// Tunnel id.
+        vni: Vni,
+        /// Outer source IP.
+        src_ip: Ipv4Addr,
+        /// Outer destination IP.
+        dst_ip: Ipv4Addr,
+        /// Outer source MAC.
+        src_mac: MacAddr,
+        /// Outer destination MAC.
+        dst_mac: MacAddr,
+    },
+    /// VXLAN-decapsulate (drops non-VXLAN frames).
+    Decap,
+    /// Emit a copy of the current frame on a port.
+    Emit(PortNo),
+}
+
+/// The maximum number of MAC-learning entries (`NORMAL` action state).
+const MAC_TABLE_CAP: usize = 4096;
+
+/// A multi-table, cache-accelerated virtual switch.
+///
+/// # Examples
+///
+/// ```
+/// use mts_vswitch::{VirtualSwitch, PortKind, FlowRule, FlowMatch, Action};
+/// use mts_net::{Frame, MacAddr};
+/// use std::net::Ipv4Addr;
+///
+/// let mut sw = VirtualSwitch::new("br0");
+/// let p_in = sw.add_port("in", PortKind::Physical);
+/// let p_out = sw.add_port("out", PortKind::Physical);
+/// sw.install(0, FlowRule::new(10, FlowMatch::on_port(p_in),
+///     vec![Action::Output(p_out)])).unwrap();
+/// let f = Frame::udp_data(MacAddr::local(1), MacAddr::local(2),
+///     Ipv4Addr::new(10,0,0,1), Ipv4Addr::new(10,0,0,2), 1, 2, 10);
+/// let out = sw.process(p_in, f);
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out[0].0, p_out);
+/// ```
+pub struct VirtualSwitch {
+    name: String,
+    ports: BTreeMap<PortNo, PortInfo>,
+    next_port: u32,
+    tables: Vec<FlowTable>,
+    mac_table: HashMap<(u16, u64), PortNo>,
+    cache: FlowCache,
+    stats: SwitchStats,
+    /// Per-cookie packet/byte statistics including fast-path hits (the
+    /// megaflow push-back real OvS performs during revalidation).
+    cookie_stats: HashMap<u64, crate::table::FlowStats>,
+}
+
+/// Errors from switch configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchError {
+    /// The referenced table id is out of range.
+    NoSuchTable(u8),
+    /// The referenced port does not exist.
+    NoSuchPort(PortNo),
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::NoSuchTable(t) => write!(f, "no such table {t}"),
+            SwitchError::NoSuchPort(p) => write!(f, "no such port {p}"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// Number of pipeline tables (OvS has 255; 8 is ample here).
+const NUM_TABLES: usize = 8;
+
+impl VirtualSwitch {
+    /// Creates a switch with no ports and empty tables.
+    pub fn new(name: impl Into<String>) -> Self {
+        VirtualSwitch {
+            name: name.into(),
+            ports: BTreeMap::new(),
+            next_port: 1,
+            tables: (0..NUM_TABLES).map(|_| FlowTable::new()).collect(),
+            mac_table: HashMap::new(),
+            cache: FlowCache::new(8192),
+            stats: SwitchStats::default(),
+            cookie_stats: HashMap::new(),
+        }
+    }
+
+    /// Returns the switch name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns aggregate statistics.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Returns cache statistics.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Adds a port; port numbers are assigned sequentially from 1.
+    pub fn add_port(&mut self, name: impl Into<String>, kind: PortKind) -> PortNo {
+        let no = PortNo(self.next_port);
+        self.next_port += 1;
+        self.ports.insert(
+            no,
+            PortInfo {
+                name: name.into(),
+                kind,
+            },
+        );
+        self.cache.bump_generation();
+        no
+    }
+
+    /// Removes a port, purging learning state.
+    pub fn remove_port(&mut self, port: PortNo) -> Result<PortInfo, SwitchError> {
+        let info = self
+            .ports
+            .remove(&port)
+            .ok_or(SwitchError::NoSuchPort(port))?;
+        self.mac_table.retain(|_, p| *p != port);
+        self.cache.bump_generation();
+        Ok(info)
+    }
+
+    /// Returns a port's metadata.
+    pub fn port(&self, port: PortNo) -> Option<&PortInfo> {
+        self.ports.get(&port)
+    }
+
+    /// Iterates over ports.
+    pub fn ports(&self) -> impl Iterator<Item = (PortNo, &PortInfo)> {
+        self.ports.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Installs a rule into a table.
+    pub fn install(&mut self, table: u8, rule: FlowRule) -> Result<(), SwitchError> {
+        let t = self
+            .tables
+            .get_mut(table as usize)
+            .ok_or(SwitchError::NoSuchTable(table))?;
+        t.add(rule);
+        self.cache.bump_generation();
+        Ok(())
+    }
+
+    /// Removes rules by cookie across all tables; returns how many.
+    pub fn remove_by_cookie(&mut self, cookie: u64) -> usize {
+        let n = self
+            .tables
+            .iter_mut()
+            .map(|t| t.remove_by_cookie(cookie))
+            .sum();
+        self.cache.bump_generation();
+        n
+    }
+
+    /// Clears all tables and learning state.
+    pub fn clear(&mut self) {
+        for t in &mut self.tables {
+            t.clear();
+        }
+        self.mac_table.clear();
+        self.cache.bump_generation();
+    }
+
+    /// Returns the number of rules in a table.
+    pub fn table_len(&self, table: u8) -> usize {
+        self.tables.get(table as usize).map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Total rules across all tables.
+    pub fn rule_count(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Processes a frame: fast path on cache hit, full pipeline otherwise.
+    ///
+    /// Returns `(port, frame)` pairs to emit. Whether the packet hit the
+    /// cache is observable via [`Self::cache_stats`] — the runtime charges
+    /// different CPU costs for hit and miss.
+    pub fn process(&mut self, in_port: PortNo, frame: Frame) -> Vec<(PortNo, Frame)> {
+        self.stats.received += 1;
+        let key = FlowKey::of(in_port, &frame);
+        let (ops, cookies) = match self.cache.get(&key) {
+            Some((ops, cookies)) => (ops, cookies),
+            None => {
+                let (ops, cookies, cacheable) = self.resolve(in_port, &frame);
+                if cacheable {
+                    self.cache.insert(key, ops.clone(), cookies.clone());
+                }
+                (ops, cookies)
+            }
+        };
+        // Credit the matched rules' cookies (slow path already counted in
+        // the tables; this map is the total including fast-path hits).
+        let wire = u64::from(frame.wire_len());
+        for cookie in cookies {
+            let st = self.cookie_stats.entry(cookie).or_default();
+            st.packets += 1;
+            st.bytes += wire;
+        }
+        self.apply(&ops, frame)
+    }
+
+    /// Total packets/bytes handled on behalf of rules with `cookie`,
+    /// including fast-path (cached) traffic.
+    pub fn stats_by_cookie(&self, cookie: u64) -> (u64, u64) {
+        self.cookie_stats
+            .get(&cookie)
+            .map(|s| (s.packets, s.bytes))
+            .unwrap_or((0, 0))
+    }
+
+    /// Resolves the pipeline into concrete ops for this packet's key.
+    ///
+    /// Also returns the cookies of matched rules (for statistics) and
+    /// whether the result is cacheable — `false` when the outcome depends
+    /// on fields outside the flow key (currently: TTL expiry).
+    fn resolve(&mut self, in_port: PortNo, original: &Frame) -> (Vec<Op>, Vec<u64>, bool) {
+        let mut ops = Vec::new();
+        let mut cookies = Vec::new();
+        let mut frame = original.clone();
+        let mut tun_id: Option<Vni> = None;
+        let mut table = 0usize;
+        let mut hops = 0;
+        loop {
+            hops += 1;
+            if hops > NUM_TABLES {
+                // Goto loop guard: treat as drop.
+                self.stats.action_drops += 1;
+                return (ops_without_emits(ops), cookies, true);
+            }
+            let Some(t) = self.tables.get_mut(table) else {
+                self.stats.no_match_drops += 1;
+                return (ops_without_emits(ops), cookies, true);
+            };
+            let Some(rule) = t.lookup(in_port, &frame, tun_id) else {
+                self.stats.no_match_drops += 1;
+                return (ops_without_emits(ops), cookies, true);
+            };
+            if rule.cookie != 0 {
+                cookies.push(rule.cookie);
+            }
+            let actions = rule.actions.clone();
+            let mut goto: Option<usize> = None;
+            for act in actions {
+                match act {
+                    Action::Output(p) => ops.push(Op::Emit(p)),
+                    Action::Flood => {
+                        for (p, _) in self.ports.iter() {
+                            if *p != in_port {
+                                ops.push(Op::Emit(*p));
+                            }
+                        }
+                    }
+                    Action::Normal => {
+                        self.normal(in_port, &frame, &mut ops);
+                    }
+                    Action::SetEthDst(m) => {
+                        frame.dst = m;
+                        ops.push(Op::SetDst(m));
+                    }
+                    Action::SetEthSrc(m) => {
+                        frame.src = m;
+                        ops.push(Op::SetSrc(m));
+                    }
+                    Action::PushVlan(v) => {
+                        frame = frame.with_vlan(v);
+                        ops.push(Op::PushVlan(v));
+                    }
+                    Action::PopVlan => {
+                        frame.vlan = None;
+                        ops.push(Op::PopVlan);
+                    }
+                    Action::DecTtl => {
+                        if let Payload::Ipv4(ip) = &mut frame.payload {
+                            if ip.ttl <= 1 {
+                                self.stats.ttl_drops += 1;
+                                // TTL is not part of the flow key: do not cache.
+                                return (ops_without_emits(ops), cookies, false);
+                            }
+                            ip.ttl -= 1;
+                        }
+                        ops.push(Op::DecTtl);
+                    }
+                    Action::VxlanEncap {
+                        vni,
+                        src_ip,
+                        dst_ip,
+                        src_mac,
+                        dst_mac,
+                    } => {
+                        frame = encapsulate(frame, vni, src_ip, dst_ip, src_mac, dst_mac);
+                        ops.push(Op::Encap {
+                            vni,
+                            src_ip,
+                            dst_ip,
+                            src_mac,
+                            dst_mac,
+                        });
+                    }
+                    Action::VxlanDecap => match decapsulate(frame.clone()) {
+                        Some((inner, vni)) => {
+                            frame = inner;
+                            tun_id = Some(vni);
+                            ops.push(Op::Decap);
+                        }
+                        None => {
+                            self.stats.decap_drops += 1;
+                            return (ops_without_emits(ops), cookies, true);
+                        }
+                    },
+                    Action::GotoTable(TableId(t)) => {
+                        goto = Some(t as usize);
+                    }
+                    Action::Drop => {
+                        self.stats.action_drops += 1;
+                        return (ops_without_emits(ops), cookies, true);
+                    }
+                }
+            }
+            match goto {
+                Some(next) if next > table => table = next,
+                Some(_) => {
+                    // Backward goto is illegal (loop); drop.
+                    self.stats.action_drops += 1;
+                    return (ops_without_emits(ops), cookies, true);
+                }
+                None => return (ops, cookies, true),
+            }
+        }
+    }
+
+    /// The `NORMAL` learning-switch behaviour.
+    fn normal(&mut self, in_port: PortNo, frame: &Frame, ops: &mut Vec<Op>) {
+        let vlan = frame.vlan.map(|t| t.vid).unwrap_or(0);
+        // Learn the source towards the ingress port.
+        if frame.src.is_unicast() {
+            let key = (vlan, frame.src.as_u64());
+            let known = self.mac_table.get(&key).copied();
+            if known != Some(in_port) {
+                if self.mac_table.len() >= MAC_TABLE_CAP && known.is_none() {
+                    self.stats.learn_overflow += 1;
+                } else {
+                    self.mac_table.insert(key, in_port);
+                    // Learning changes future NORMAL resolutions.
+                    self.cache.bump_generation();
+                }
+            }
+        }
+        // Forward or flood.
+        if frame.dst.is_unicast() {
+            if let Some(port) = self.mac_table.get(&(vlan, frame.dst.as_u64())) {
+                if *port != in_port {
+                    ops.push(Op::Emit(*port));
+                }
+                return;
+            }
+        }
+        for (p, _) in self.ports.iter() {
+            if *p != in_port {
+                ops.push(Op::Emit(*p));
+            }
+        }
+    }
+
+    /// Applies resolved ops to a frame, producing emissions.
+    fn apply(&mut self, ops: &[Op], frame: Frame) -> Vec<(PortNo, Frame)> {
+        let mut cur = frame;
+        let mut out = Vec::new();
+        for op in ops {
+            match op {
+                Op::SetDst(m) => cur.dst = *m,
+                Op::SetSrc(m) => cur.src = *m,
+                Op::PushVlan(v) => cur = cur.with_vlan(*v),
+                Op::PopVlan => cur.vlan = None,
+                Op::DecTtl => {
+                    if let Payload::Ipv4(ip) = &mut cur.payload {
+                        if ip.ttl <= 1 {
+                            self.stats.ttl_drops += 1;
+                            break;
+                        }
+                        ip.ttl -= 1;
+                    }
+                }
+                Op::Encap {
+                    vni,
+                    src_ip,
+                    dst_ip,
+                    src_mac,
+                    dst_mac,
+                } => {
+                    cur = encapsulate(cur, *vni, *src_ip, *dst_ip, *src_mac, *dst_mac);
+                }
+                Op::Decap => match decapsulate(cur) {
+                    Some((inner, _)) => cur = inner,
+                    None => {
+                        self.stats.decap_drops += 1;
+                        return out;
+                    }
+                },
+                Op::Emit(p) => {
+                    self.stats.emitted += 1;
+                    out.push((*p, cur.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns what the MAC-learning table knows about `(vlan, mac)`.
+    pub fn learned(&self, vlan: u16, mac: MacAddr) -> Option<PortNo> {
+        self.mac_table.get(&(vlan, mac.as_u64())).copied()
+    }
+
+    /// Dumps all installed rules as `(table, rule)` pairs with fresh
+    /// statistics — what a controller reads back for reconciliation.
+    pub fn dump_rules(&self) -> Vec<(u8, FlowRule)> {
+        let mut out = Vec::new();
+        for (t, table) in self.tables.iter().enumerate() {
+            for r in table.rules() {
+                let mut rule = r.clone();
+                rule.stats = crate::table::FlowStats::default();
+                out.push((t as u8, rule));
+            }
+        }
+        out
+    }
+}
+
+/// Strips emissions from an op list (the packet was ultimately dropped, but
+/// field rewrites may already be cached — the cached entry must also drop).
+fn ops_without_emits(mut ops: Vec<Op>) -> Vec<Op> {
+    ops.retain(|op| !matches!(op, Op::Emit(_)));
+    ops
+}
+
+/// Wraps a frame in a VXLAN envelope.
+fn encapsulate(
+    inner: Frame,
+    vni: Vni,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+) -> Frame {
+    let mut outer = Frame::new(
+        src_mac,
+        dst_mac,
+        Payload::Ipv4(Ipv4Packet {
+            src: src_ip,
+            dst: dst_ip,
+            ttl: 64,
+            tos: 0,
+            transport: Transport::Udp(UdpDatagram {
+                // Source port derived from the inner flow hash for ECMP,
+                // as real VTEPs do.
+                sport: 49152 + (inner.flow_hash() % 16384) as u16,
+                dport: VXLAN_UDP_PORT,
+                payload: UdpPayload::Vxlan {
+                    vni,
+                    inner: Box::new(inner),
+                },
+            }),
+        }),
+    );
+    outer.origin_ns = match &outer.payload {
+        Payload::Ipv4(ip) => match &ip.transport {
+            Transport::Udp(u) => match &u.payload {
+                UdpPayload::Vxlan { inner, .. } => inner.origin_ns,
+                _ => 0,
+            },
+            _ => 0,
+        },
+        _ => 0,
+    };
+    outer
+}
+
+/// Unwraps a VXLAN envelope, returning the inner frame and its VNI.
+///
+/// Measurement metadata (origin timestamp, frame id) carries over from the
+/// envelope when the inner frame has none — timestamps must survive
+/// tunnel transitions for one-way latency measurement.
+fn decapsulate(outer: Frame) -> Option<(Frame, Vni)> {
+    let (origin, id) = (outer.origin_ns, outer.id);
+    match outer.payload {
+        Payload::Ipv4(ip) => match ip.transport {
+            Transport::Udp(u) if u.dport == VXLAN_UDP_PORT => match u.payload {
+                UdpPayload::Vxlan { vni, inner } => {
+                    let mut inner = *inner;
+                    if inner.origin_ns == 0 {
+                        inner.origin_ns = origin;
+                        inner.id = id;
+                    }
+                    Some((inner, vni))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowMatch;
+
+    fn frame(dst_ip: Ipv4Addr) -> Frame {
+        Frame::udp_data(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip,
+            1000,
+            2000,
+            64,
+        )
+    }
+
+    fn two_port_switch() -> (VirtualSwitch, PortNo, PortNo) {
+        let mut sw = VirtualSwitch::new("test");
+        let a = sw.add_port("a", PortKind::Physical);
+        let b = sw.add_port("b", PortKind::Physical);
+        (sw, a, b)
+    }
+
+    #[test]
+    fn no_rules_means_drop() {
+        let (mut sw, a, _) = two_port_switch();
+        let out = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().no_match_drops, 1);
+    }
+
+    #[test]
+    fn cache_hit_on_second_packet() {
+        let (mut sw, a, b) = two_port_switch();
+        sw.install(0, FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]))
+            .unwrap();
+        let _ = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
+        let _ = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
+        let cs = sw.cache_stats();
+        assert_eq!(cs.misses, 1);
+        assert_eq!(cs.hits, 1);
+    }
+
+    #[test]
+    fn rule_install_invalidates_cache() {
+        let (mut sw, a, b) = two_port_switch();
+        sw.install(0, FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]))
+            .unwrap();
+        let _ = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
+        // A higher-priority drop arrives; the cached entry must not be used.
+        sw.install(0, FlowRule::new(10, FlowMatch::any(), vec![Action::Drop]))
+            .unwrap();
+        let out = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().action_drops, 1);
+    }
+
+    #[test]
+    fn dmac_rewrite_then_output() {
+        // The MTS ingress chain: rewrite dmac to the tenant VF, emit on Gw.
+        let (mut sw, a, gw) = two_port_switch();
+        let tenant_mac = MacAddr::local(0x42);
+        sw.install(
+            0,
+            FlowRule::new(
+                10,
+                FlowMatch::to_ip(Ipv4Addr::new(10, 0, 1, 1)),
+                crate::actions::rewrite_and_output(tenant_mac, gw),
+            ),
+        )
+        .unwrap();
+        let out = sw.process(a, frame(Ipv4Addr::new(10, 0, 1, 1)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, gw);
+        assert_eq!(out[0].1.dst, tenant_mac);
+    }
+
+    #[test]
+    fn normal_learns_then_unicasts() {
+        let (mut sw, a, b) = two_port_switch();
+        sw.install(0, FlowRule::new(1, FlowMatch::any(), vec![Action::Normal]))
+            .unwrap();
+        let mac_a = MacAddr::local(0xa);
+        let mac_b = MacAddr::local(0xb);
+        let f1 = Frame::udp_data(
+            mac_a,
+            mac_b,
+            Ipv4Addr::new(1, 0, 0, 1),
+            Ipv4Addr::new(1, 0, 0, 2),
+            1,
+            2,
+            10,
+        );
+        // Unknown destination: flood to b.
+        let out = sw.process(a, f1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, b);
+        assert_eq!(sw.learned(0, mac_a), Some(a));
+        // Reply learns b and unicasts to a.
+        let f2 = Frame::udp_data(
+            mac_b,
+            mac_a,
+            Ipv4Addr::new(1, 0, 0, 2),
+            Ipv4Addr::new(1, 0, 0, 1),
+            2,
+            1,
+            10,
+        );
+        let out = sw.process(b, f2);
+        assert_eq!(out, vec![(a, out[0].1.clone())]);
+        assert_eq!(sw.learned(0, mac_b), Some(b));
+    }
+
+    #[test]
+    fn goto_table_pipelines() {
+        let (mut sw, a, b) = two_port_switch();
+        sw.install(
+            0,
+            FlowRule::new(
+                1,
+                FlowMatch::any(),
+                vec![Action::SetEthSrc(MacAddr::local(7)), Action::GotoTable(TableId(2))],
+            ),
+        )
+        .unwrap();
+        sw.install(2, FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]))
+            .unwrap();
+        let out = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.src, MacAddr::local(7));
+    }
+
+    #[test]
+    fn backward_goto_is_a_drop() {
+        let (mut sw, a, _) = two_port_switch();
+        sw.install(
+            1,
+            FlowRule::new(1, FlowMatch::any(), vec![Action::GotoTable(TableId(0))]),
+        )
+        .unwrap();
+        sw.install(
+            0,
+            FlowRule::new(1, FlowMatch::any(), vec![Action::GotoTable(TableId(1))]),
+        )
+        .unwrap();
+        let out = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().action_drops, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let (mut sw, a, b) = two_port_switch();
+        sw.install(
+            0,
+            FlowRule::new(1, FlowMatch::any(), vec![Action::DecTtl, Action::Output(b)]),
+        )
+        .unwrap();
+        let mut f = frame(Ipv4Addr::new(1, 1, 1, 1));
+        if let Payload::Ipv4(ip) = &mut f.payload {
+            ip.ttl = 1;
+        }
+        let out = sw.process(a, f);
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().ttl_drops, 1);
+        // A healthy TTL passes and is decremented.
+        let out = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
+        assert_eq!(out[0].1.ipv4().unwrap().ttl, 63);
+    }
+
+    #[test]
+    fn vxlan_encap_decap_roundtrip() {
+        let (mut sw, a, b) = two_port_switch();
+        let vni = Vni::new(42);
+        sw.install(
+            0,
+            FlowRule::new(
+                10,
+                FlowMatch::on_port(a),
+                vec![
+                    Action::VxlanEncap {
+                        vni,
+                        src_ip: Ipv4Addr::new(172, 16, 0, 1),
+                        dst_ip: Ipv4Addr::new(172, 16, 0, 2),
+                        src_mac: MacAddr::local(0xf1),
+                        dst_mac: MacAddr::local(0xf2),
+                    },
+                    Action::Output(b),
+                ],
+            ),
+        )
+        .unwrap();
+        let inner = frame(Ipv4Addr::new(10, 0, 1, 1));
+        let inner_len = inner.wire_len();
+        let out = sw.process(a, inner);
+        assert_eq!(out.len(), 1);
+        let encapped = &out[0].1;
+        assert_eq!(encapped.dst, MacAddr::local(0xf2));
+        assert!(encapped.wire_len() > inner_len);
+
+        // Now decapsulate on the way back, matching on the tunnel id.
+        let (mut sw2, a2, b2) = two_port_switch();
+        sw2.install(
+            0,
+            FlowRule::new(
+                10,
+                FlowMatch::on_port(a2),
+                vec![Action::VxlanDecap, Action::GotoTable(TableId(1))],
+            ),
+        )
+        .unwrap();
+        sw2.install(
+            1,
+            FlowRule::new(10, FlowMatch::any().and_tun(vni), vec![Action::Output(b2)]),
+        )
+        .unwrap();
+        let out2 = sw2.process(a2, encapped.clone());
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].1.dst_ip(), Some(Ipv4Addr::new(10, 0, 1, 1)));
+    }
+
+    #[test]
+    fn decap_of_plain_frame_drops() {
+        let (mut sw, a, _) = two_port_switch();
+        sw.install(0, FlowRule::new(1, FlowMatch::any(), vec![Action::VxlanDecap]))
+            .unwrap();
+        let out = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
+        assert!(out.is_empty());
+        assert_eq!(sw.stats().decap_drops, 1);
+    }
+
+    #[test]
+    fn flood_skips_ingress() {
+        let mut sw = VirtualSwitch::new("t");
+        let a = sw.add_port("a", PortKind::Physical);
+        let b = sw.add_port("b", PortKind::Physical);
+        let c = sw.add_port("c", PortKind::Physical);
+        sw.install(0, FlowRule::new(1, FlowMatch::any(), vec![Action::Flood]))
+            .unwrap();
+        let out = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
+        let ports: Vec<PortNo> = out.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ports, vec![b, c]);
+    }
+
+    #[test]
+    fn remove_port_purges_learning() {
+        let (mut sw, a, b) = two_port_switch();
+        sw.install(0, FlowRule::new(1, FlowMatch::any(), vec![Action::Normal]))
+            .unwrap();
+        let mac = MacAddr::local(0xa);
+        let f = Frame::udp_data(
+            mac,
+            MacAddr::local(0xb),
+            Ipv4Addr::new(1, 0, 0, 1),
+            Ipv4Addr::new(1, 0, 0, 2),
+            1,
+            2,
+            10,
+        );
+        sw.process(a, f);
+        assert_eq!(sw.learned(0, mac), Some(a));
+        sw.remove_port(a).unwrap();
+        assert_eq!(sw.learned(0, mac), None);
+        assert!(sw.remove_port(a).is_err());
+        let _ = b;
+    }
+
+    #[test]
+    fn cookie_removal_spans_tables() {
+        let (mut sw, _, b) = two_port_switch();
+        sw.install(0, FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]).with_cookie(9))
+            .unwrap();
+        sw.install(3, FlowRule::new(1, FlowMatch::any(), vec![Action::Drop]).with_cookie(9))
+            .unwrap();
+        assert_eq!(sw.rule_count(), 2);
+        assert_eq!(sw.remove_by_cookie(9), 2);
+        assert_eq!(sw.rule_count(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests: the flow pipeline under random rules and traffic.
+
+use mts_net::{Frame, MacAddr};
+use mts_vswitch::{Action, FlowMatch, FlowRule, Ipv4Prefix, PortKind, PortNo, VirtualSwitch};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        proptest::option::of(1u16..4095),
+    )
+        .prop_map(|(sm, dm, sip, dip, sp, dp, vlan)| {
+            let mut f = Frame::udp_data(
+                MacAddr::local(sm),
+                MacAddr::local(dm),
+                Ipv4Addr::from(sip),
+                Ipv4Addr::from(dip),
+                sp,
+                dp,
+                64,
+            );
+            if let Some(v) = vlan {
+                f = f.with_vlan(v);
+            }
+            f
+        })
+}
+
+fn arb_action(ports: u32) -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1..=ports).prop_map(|p| Action::Output(PortNo(p))),
+        Just(Action::Flood),
+        Just(Action::Normal),
+        Just(Action::Drop),
+        any::<u32>().prop_map(|m| Action::SetEthDst(MacAddr::local(m))),
+        (1u16..4095).prop_map(Action::PushVlan),
+        Just(Action::PopVlan),
+        Just(Action::DecTtl),
+    ]
+}
+
+fn arb_rule(ports: u32) -> impl Strategy<Value = FlowRule> {
+    (
+        0u16..100,
+        proptest::option::of(1..=ports),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of((any::<u32>(), 0u8..=32)),
+        proptest::collection::vec(arb_action(ports), 0..4),
+    )
+        .prop_map(|(priority, in_port, dst_mac, dst_prefix, actions)| {
+            let m = FlowMatch {
+                in_port: in_port.map(PortNo),
+                eth_dst: dst_mac.map(MacAddr::local),
+                ip_dst: dst_prefix.map(|(a, l)| Ipv4Prefix::new(Ipv4Addr::from(a), l)),
+                ..FlowMatch::default()
+            };
+            FlowRule::new(priority, m, actions)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// No combination of random rules and frames panics, loops, or emits
+    /// to the ingress port (except explicit Output back to it).
+    #[test]
+    fn pipeline_is_total_and_sane(
+        rules in proptest::collection::vec(arb_rule(4), 0..24),
+        frames in proptest::collection::vec(arb_frame(), 1..48),
+        in_ports in proptest::collection::vec(1u32..=4, 1..48),
+    ) {
+        let mut sw = VirtualSwitch::new("fuzz");
+        for i in 0..4 {
+            sw.add_port(format!("p{i}"), PortKind::Physical);
+        }
+        let has_explicit_self_output = rules.iter().any(|r| {
+            r.actions.iter().any(|a| matches!(a, Action::Output(_)))
+        });
+        for r in rules {
+            sw.install(0, r).expect("table 0 exists");
+        }
+        for (f, ip) in frames.iter().zip(in_ports.iter().cycle()) {
+            let in_port = PortNo(*ip);
+            let out = sw.process(in_port, f.clone());
+            // Flood/Normal never echo to the ingress port.
+            if !has_explicit_self_output {
+                prop_assert!(out.iter().all(|(p, _)| *p != in_port));
+            }
+            // Emission count is bounded by the port fanout per rule chain.
+            prop_assert!(out.len() <= 4 * 8, "absurd fanout {}", out.len());
+        }
+        // Conservation: received counts every call.
+        prop_assert_eq!(sw.stats().received, frames.len() as u64);
+    }
+
+    /// The cache never changes forwarding decisions: replaying the same
+    /// frame twice yields identical emissions.
+    #[test]
+    fn cache_transparency(
+        rules in proptest::collection::vec(arb_rule(4), 1..16),
+        frame in arb_frame(),
+    ) {
+        // Skip NORMAL (learning mutates state between calls by design).
+        let rules: Vec<FlowRule> = rules
+            .into_iter()
+            .filter(|r| !r.actions.iter().any(|a| matches!(a, Action::Normal | Action::Flood)))
+            .collect();
+        let mut sw = VirtualSwitch::new("cachefuzz");
+        for i in 0..4 {
+            sw.add_port(format!("p{i}"), PortKind::Physical);
+        }
+        for r in rules {
+            sw.install(0, r).expect("table 0 exists");
+        }
+        let first = sw.process(PortNo(1), frame.clone());
+        let second = sw.process(PortNo(1), frame.clone());
+        prop_assert_eq!(first.len(), second.len());
+        for ((p1, f1), (p2, f2)) in first.iter().zip(second.iter()) {
+            prop_assert_eq!(p1, p2);
+            prop_assert_eq!(f1.dst, f2.dst);
+            prop_assert_eq!(f1.src, f2.src);
+            prop_assert_eq!(f1.vlan, f2.vlan);
+        }
+        // And the second traversal hit the cache (unless TTL barred caching).
+        let cs = sw.cache_stats();
+        prop_assert!(cs.hits >= 1 || cs.misses == 2);
+    }
+
+    /// Higher-priority matching rules always win.
+    #[test]
+    fn priority_always_wins(
+        dst in any::<u32>(),
+        low_prio in 0u16..50,
+        high_prio in 50u16..100,
+    ) {
+        let mut sw = VirtualSwitch::new("prio");
+        let a = sw.add_port("a", PortKind::Physical);
+        let lo = sw.add_port("lo", PortKind::Physical);
+        let hi = sw.add_port("hi", PortKind::Physical);
+        let dip = Ipv4Addr::from(dst);
+        sw.install(0, FlowRule::new(low_prio, FlowMatch::to_ip(dip), vec![Action::Output(lo)]))
+            .expect("table 0 exists");
+        sw.install(0, FlowRule::new(high_prio, FlowMatch::to_ip(dip), vec![Action::Output(hi)]))
+            .expect("table 0 exists");
+        let f = Frame::udp_data(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::new(9, 9, 9, 9),
+            dip,
+            1,
+            2,
+            20,
+        );
+        let out = sw.process(a, f);
+        prop_assert_eq!(out.len(), 1);
+        prop_assert_eq!(out[0].0, hi);
+    }
+}

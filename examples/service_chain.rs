@@ -1,0 +1,64 @@
+//! NFV service chaining (the paper's v2v scenario).
+//!
+//! ```text
+//! cargo run --release --example service_chain
+//! ```
+//!
+//! In v2v, packets chain through two tenant VMs before leaving the server
+//! — the paper's stand-in for network function virtualization. This
+//! example sweeps the offered load and shows where each configuration
+//! saturates and what the chain costs in latency.
+
+use mts::core::spec::{DeploymentSpec, Scenario, SecurityLevel};
+use mts::core::testbed::{RunOpts, Testbed};
+use mts::host::ResourceMode;
+use mts::sim::Dur;
+use mts::vswitch::DatapathKind;
+
+fn main() {
+    let configs = [
+        DeploymentSpec::baseline(
+            DatapathKind::Kernel,
+            ResourceMode::Isolated,
+            2,
+            Scenario::V2v,
+        ),
+        DeploymentSpec::mts(
+            SecurityLevel::Level2 { compartments: 2 },
+            DatapathKind::Kernel,
+            ResourceMode::Isolated,
+            Scenario::V2v,
+        ),
+    ];
+
+    println!("offered load sweep, v2v service chain, 64 B frames\n");
+    println!(
+        "{:<26} {:>10} {:>12} {:>10} {:>10}",
+        "config", "offered", "delivered", "loss %", "p50 us"
+    );
+    for spec in configs {
+        let tb = Testbed::new(spec);
+        for offered_mpps in [0.05, 0.2, 0.5, 2.0, 14.0] {
+            let opts = RunOpts {
+                rate_pps: offered_mpps * 1e6,
+                wire_len: 64,
+                warmup: Dur::millis(12),
+                measure: Dur::millis(10),
+                seed: 1,
+            };
+            let m = tb.run(opts).expect("run completes");
+            println!(
+                "{:<26} {:>8.2}M {:>10.3}M {:>9.1}% {:>10.1}",
+                m.config,
+                offered_mpps,
+                m.mpps(),
+                m.loss() * 100.0,
+                m.latency.p50 as f64 / 1e3
+            );
+        }
+        println!();
+    }
+    println!("Each chained packet takes two extra round trips to the NIC in");
+    println!("MTS; the Baseline pays four vhost copies on the vswitch core —");
+    println!("which is why MTS still wins ~2x in the kernel datapath.");
+}

@@ -1,0 +1,136 @@
+//! Cross-crate end-to-end tests: every security level × scenario forwards
+//! traffic correctly through NIC + vswitch + tenants at low offered load.
+
+use mts::core::spec::{DeploymentSpec, Scenario, SecurityLevel};
+use mts::core::testbed::{RunOpts, Testbed};
+use mts::host::ResourceMode;
+use mts::sim::Dur;
+use mts::vswitch::DatapathKind;
+
+fn gentle() -> RunOpts {
+    RunOpts {
+        rate_pps: 40_000.0,
+        wire_len: 64,
+        warmup: Dur::millis(2),
+        // Long enough that window-edge effects (frames generated near the
+        // end arriving after it) stay well under the loss tolerance.
+        measure: Dur::millis(30),
+        seed: 11,
+    }
+}
+
+fn all_levels() -> Vec<SecurityLevel> {
+    vec![
+        SecurityLevel::Level1,
+        SecurityLevel::Level2 { compartments: 2 },
+        SecurityLevel::Level2 { compartments: 4 },
+    ]
+}
+
+#[test]
+fn every_mts_level_forwards_losslessly_at_low_load() {
+    for datapath in [DatapathKind::Kernel, DatapathKind::Dpdk] {
+        for level in all_levels() {
+            for scenario in Scenario::ALL {
+                let spec =
+                    DeploymentSpec::mts(level, datapath, ResourceMode::Isolated, scenario);
+                let m = match Testbed::new(spec).run(gentle()) {
+                    Ok(m) => m,
+                    // v2v with singleton compartments is unsupported, as in
+                    // the paper.
+                    Err(_) if scenario == Scenario::V2v => continue,
+                    Err(e) => panic!("{level:?} {scenario:?}: {e}"),
+                };
+                assert!(
+                    m.loss() < 0.02,
+                    "{level:?} {datapath:?} {scenario}: loss {:.3} drops {:?}",
+                    m.loss(),
+                    m.drops
+                );
+                // All four tenant flows arrive.
+                assert!(
+                    m.per_flow.iter().all(|&c| c > 0),
+                    "{level:?} {scenario}: {:?}",
+                    m.per_flow
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn baseline_forwards_losslessly_at_low_load() {
+    for datapath in [DatapathKind::Kernel, DatapathKind::Dpdk] {
+        for scenario in Scenario::ALL {
+            let spec = DeploymentSpec::baseline(datapath, ResourceMode::Shared, 1, scenario);
+            let m = Testbed::new(spec).run(gentle()).expect("baseline runs");
+            assert!(
+                m.loss() < 0.02,
+                "baseline {datapath:?} {scenario}: loss {:.3} drops {:?}",
+                m.loss(),
+                m.drops
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_orders_by_path_length() {
+    // p2p < p2v < v2v for any one configuration.
+    let mut medians = Vec::new();
+    for scenario in Scenario::ALL {
+        let spec = DeploymentSpec::mts(
+            SecurityLevel::Level1,
+            DatapathKind::Kernel,
+            ResourceMode::Isolated,
+            scenario,
+        );
+        let m = Testbed::new(spec).run(gentle()).expect("runs");
+        medians.push((scenario.label(), m.latency.p50));
+    }
+    assert!(
+        medians[0].1 < medians[1].1 && medians[1].1 < medians[2].1,
+        "latency must grow with path length: {medians:?}"
+    );
+}
+
+#[test]
+fn per_flow_counts_are_balanced() {
+    let spec = DeploymentSpec::mts(
+        SecurityLevel::Level2 { compartments: 4 },
+        DatapathKind::Kernel,
+        ResourceMode::Isolated,
+        Scenario::P2v,
+    );
+    let m = Testbed::new(spec).run(gentle()).expect("runs");
+    let max = *m.per_flow.iter().max().expect("flows");
+    let min = *m.per_flow.iter().min().expect("flows");
+    assert!(
+        max - min <= max / 10 + 2,
+        "flows should be near-balanced: {:?}",
+        m.per_flow
+    );
+}
+
+#[test]
+fn frame_size_sweep_is_lossless_and_monotone_in_latency() {
+    let spec = DeploymentSpec::mts(
+        SecurityLevel::Level1,
+        DatapathKind::Kernel,
+        ResourceMode::Isolated,
+        Scenario::P2v,
+    );
+    let mut last = 0;
+    for wire in [64u32, 512, 1500, 2048] {
+        let m = Testbed::new(spec)
+            .run(gentle().with_wire_len(wire))
+            .expect("runs");
+        assert!(m.loss() < 0.02, "{wire}B loss {}", m.loss());
+        assert!(
+            m.latency.p50 >= last,
+            "{wire}B latency regressed: {} < {last}",
+            m.latency.p50
+        );
+        last = m.latency.p50;
+    }
+}
