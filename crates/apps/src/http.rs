@@ -201,7 +201,12 @@ mod tests {
         assert_eq!(ctx.sent[&conn], REQUEST_BYTES);
         ab.on_data(conn, RESPONSE_BYTES / 2, Time::from_nanos(500), &mut ctx);
         assert_eq!(ab.completed(), 0);
-        ab.on_data(conn, RESPONSE_BYTES / 2 + 1, Time::from_nanos(1_000), &mut ctx);
+        ab.on_data(
+            conn,
+            RESPONSE_BYTES / 2 + 1,
+            Time::from_nanos(1_000),
+            &mut ctx,
+        );
         assert_eq!(ab.completed(), 1);
         assert_eq!(ctx.latencies, vec![1_000]);
         // Connection replaced: two connects total.

@@ -135,7 +135,12 @@ mod tests {
         let mut s = IperfServer::new();
         s.on_connected(ConnId(1), Time::ZERO, &mut ctx);
         s.on_data(ConnId(1), 1_000_000, Time::from_nanos(0), &mut ctx);
-        s.on_data(ConnId(1), 1_000_000, Time::from_nanos(1_000_000_000), &mut ctx);
+        s.on_data(
+            ConnId(1),
+            1_000_000,
+            Time::from_nanos(1_000_000_000),
+            &mut ctx,
+        );
         assert_eq!(s.total_received(), 2_000_000);
         // 2 MB over 1 s = 16 Mbit/s.
         assert!((s.goodput_bps() - 16_000_000.0).abs() < 1.0);

@@ -242,7 +242,10 @@ mod tests {
         // A lone GET.
         s.on_data(ConnId(1), GET_REQUEST_BYTES, Time::ZERO, &mut ctx);
         assert_eq!(s.ops(), (1, 1));
-        assert_eq!(ctx.sent[&ConnId(1)], SET_RESPONSE_BYTES + GET_RESPONSE_BYTES);
+        assert_eq!(
+            ctx.sent[&ConnId(1)],
+            SET_RESPONSE_BYTES + GET_RESPONSE_BYTES
+        );
     }
 
     #[test]

@@ -43,7 +43,12 @@ fn bench_row(c: &mut Criterion, name: &str, mode: ResourceMode, dp: DatapathKind
 }
 
 fn fig5b_shared(c: &mut Criterion) {
-    bench_row(c, "fig5b_shared", ResourceMode::Shared, DatapathKind::Kernel);
+    bench_row(
+        c,
+        "fig5b_shared",
+        ResourceMode::Shared,
+        DatapathKind::Kernel,
+    );
 }
 
 fn fig5e_isolated(c: &mut Criterion) {

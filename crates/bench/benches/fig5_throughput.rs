@@ -44,7 +44,12 @@ fn bench_row(c: &mut Criterion, name: &str, mode: ResourceMode, dp: DatapathKind
 }
 
 fn fig5a_shared(c: &mut Criterion) {
-    bench_row(c, "fig5a_shared", ResourceMode::Shared, DatapathKind::Kernel);
+    bench_row(
+        c,
+        "fig5a_shared",
+        ResourceMode::Shared,
+        DatapathKind::Kernel,
+    );
 }
 
 fn fig5d_isolated(c: &mut Criterion) {

@@ -24,12 +24,7 @@ fn matrix() -> Vec<(&'static str, DeploymentSpec)> {
     vec![
         (
             "baseline shared",
-            DeploymentSpec::baseline(
-                DatapathKind::Kernel,
-                ResourceMode::Shared,
-                1,
-                Scenario::P2v,
-            ),
+            DeploymentSpec::baseline(DatapathKind::Kernel, ResourceMode::Shared, 1, Scenario::P2v),
         ),
         (
             "L1 shared",

@@ -5,11 +5,16 @@
 //! discrete-event engine, the wire codec and the TCP engine.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mts_core::controller::Controller;
+use mts_core::runtime::{start_udp_generator, RuntimeCfg, Sim, World};
+use mts_core::spec::{DeploymentSpec, Scenario, SecurityLevel};
+use mts_host::ResourceMode;
 use mts_net::{parse, serialize, Frame, MacAddr};
 use mts_nic::{NicModel, NicPort, PfId, SriovNic, VfConfig, VfId};
 use mts_sim::{Dur, Engine, Time};
 use mts_tcp::{Connection, TcpConfig};
-use mts_vswitch::{Action, FlowMatch, FlowRule, PortKind, VirtualSwitch};
+use mts_telemetry::Telemetry;
+use mts_vswitch::{Action, DatapathKind, FlowMatch, FlowRule, PortKind, VirtualSwitch};
 use std::net::Ipv4Addr;
 
 fn probe(dport: u16) -> Frame {
@@ -152,12 +157,53 @@ fn tcp_transfer(c: &mut Criterion) {
     });
 }
 
+/// A/B ablation for the telemetry layer: the same Level-2 v2v pipeline run
+/// with telemetry disabled (the default — one `Option` check per hook site)
+/// and enabled (full journey/trace/metrics recording). The `off` arm is the
+/// regression guard: it must match the pre-telemetry pipeline cost.
+fn telemetry_ab(c: &mut Criterion) {
+    fn run(enabled: bool) -> u64 {
+        let spec = DeploymentSpec::mts(
+            SecurityLevel::Level2 { compartments: 2 },
+            DatapathKind::Kernel,
+            ResourceMode::Isolated,
+            Scenario::V2v,
+        );
+        let d = Controller::deploy(spec).expect("deployable");
+        let mut w = World::new(d, RuntimeCfg::for_spec(&spec), 1);
+        w.sink.window = (Time::ZERO, Time::MAX);
+        if enabled {
+            w.telemetry = Telemetry::enabled();
+        }
+        let mut e = Sim::new();
+        let flows: Vec<(MacAddr, Ipv4Addr)> = w
+            .plan
+            .tenants
+            .iter()
+            .map(|t| {
+                let c = w.spec.compartment_of_tenant(t.index) as usize;
+                (w.plan.compartments[c].in_out[0].1, t.ip)
+            })
+            .collect();
+        start_udp_generator(&mut e, flows, 100_000.0, 64, Time::from_nanos(1_000_000));
+        e.run_until(&mut w, Time::from_nanos(3_000_000));
+        w.sink.received
+    }
+
+    let mut group = c.benchmark_group("telemetry_pipeline");
+    group.sample_size(20);
+    group.bench_function("off", |b| b.iter(|| run(false)));
+    group.bench_function("on", |b| b.iter(|| run(true)));
+    group.finish();
+}
+
 criterion_group!(
     substrates,
     vswitch_fast_vs_slow,
     nic_veb,
     des_engine,
     wire_codec,
-    tcp_transfer
+    tcp_transfer,
+    telemetry_ab
 );
 criterion_main!(substrates);

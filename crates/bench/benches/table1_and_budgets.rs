@@ -27,7 +27,10 @@ fn vf_budget(c: &mut Criterion) {
         (SecurityLevel::Level2 { compartments: 4 }, 4, 12),
     ] {
         let total = VfBudget::for_level(level, tenants, 1).total();
-        println!("[vfcount] {} x{tenants} tenants -> {total} VFs", level.label());
+        println!(
+            "[vfcount] {} x{tenants} tenants -> {total} VFs",
+            level.label()
+        );
         assert_eq!(total, expect, "paper Sec. 3.2 numbers");
     }
     let spec = DeploymentSpec::mts(

@@ -4,56 +4,84 @@
 //!
 //! ```text
 //! repro [--quick] [--out DIR] \
-//!   [all|fig5|fig6|pktsize|table1|vfcount|isolation|noisy|overlay|billing]
+//!   [--trace-out FILE] [--metrics-out FILE] \
+//!   [all|fig5|fig6|pktsize|table1|vfcount|isolation|noisy|overlay|billing|trace]
 //! ```
 //!
 //! Prints aligned tables to stdout and writes CSV files under `--out`
 //! (default `results/`). `--quick` scales measurement windows down ~8x for
 //! a fast smoke pass.
+//!
+//! The `trace` target (implied when `--trace-out`/`--metrics-out` is given
+//! without an explicit target) runs a Level-2 v2v scenario with telemetry
+//! enabled, audits complete mediation over every frame journey, and writes
+//! a Chrome trace-event file (open in <https://ui.perfetto.dev>), a JSONL
+//! event log (`FILE.jsonl` sibling), and a Prometheus-style metrics
+//! snapshot. See `OBSERVABILITY.md`.
 
 use mts_bench::figures::{
     fig5_panel, fig6_panel, isolation_matrix, pktsize_sweep, render_fig6, vf_count_table,
     Fig5Panel, Fig6Panel, ReproOpts,
 };
 use mts_core::perfiso::{self, NoisyOpts};
-use mts_core::spec::{DeploymentSpec, Scenario, SecurityLevel};
 use mts_core::runtime::{start_udp_generator, RuntimeCfg, Sim, World};
+use mts_core::spec::{DeploymentSpec, Scenario, SecurityLevel};
 use mts_core::survey;
 use mts_core::workloads::Workload;
 use mts_core::{billing, overlay, Controller};
+use mts_host::ResourceMode;
 use mts_net::MacAddr;
 use mts_sim::Time;
-use mts_host::ResourceMode;
+use mts_telemetry::{MediationAuditor, Telemetry};
 use mts_vswitch::DatapathKind;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 struct Args {
     quick: bool,
     out: PathBuf,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     what: Vec<String>,
 }
 
 fn parse_args() -> Args {
     let mut quick = false;
     let mut out = PathBuf::from("results");
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut what = Vec::new();
     let mut args = std::env::args().skip(1);
+    fn value(flag: &str, args: &mut impl Iterator<Item = String>) -> PathBuf {
+        args.next().map(PathBuf::from).unwrap_or_else(|| {
+            eprintln!("repro: {flag} requires a path argument");
+            std::process::exit(2);
+        })
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--out" => {
-                if let Some(dir) = args.next() {
-                    out = PathBuf::from(dir);
-                }
-            }
+            "--out" => out = value("--out", &mut args),
+            "--trace-out" => trace_out = Some(value("--trace-out", &mut args)),
+            "--metrics-out" => metrics_out = Some(value("--metrics-out", &mut args)),
             other => what.push(other.to_string()),
         }
     }
     if what.is_empty() {
-        what.push("all".to_string());
+        // Exporter flags without an explicit target imply the trace run.
+        if trace_out.is_some() || metrics_out.is_some() {
+            what.push("trace".to_string());
+        } else {
+            what.push("all".to_string());
+        }
     }
-    Args { quick, out, what }
+    Args {
+        quick,
+        out,
+        trace_out,
+        metrics_out,
+        what,
+    }
 }
 
 fn save(out_dir: &PathBuf, name: &str, content: &str) {
@@ -83,9 +111,8 @@ fn run_fig6(opts: ReproOpts, out: &PathBuf) {
             let panel = Fig6Panel { row, workload };
             let rows = fig6_panel(panel, opts);
             println!("{}", render_fig6(panel.name(), workload, &rows));
-            let mut csv = String::from(
-                "config,scenario,workload,throughput,ci95,resp_p50_ns,resp_p99_ns\n",
-            );
+            let mut csv =
+                String::from("config,scenario,workload,throughput,ci95,resp_p50_ns,resp_p99_ns\n");
             for r in &rows {
                 csv.push_str(&format!(
                     "{},{},{},{:.3},{:.3},{},{}\n",
@@ -105,6 +132,72 @@ fn run_fig6(opts: ReproOpts, out: &PathBuf) {
             );
             save(out, &format!("{tag}.csv"), &csv);
         }
+    }
+}
+
+/// The observability showcase: a Level-2 v2v run with full telemetry,
+/// mediation audit, and the trace/metrics exporters.
+fn run_trace(quick: bool, trace_out: Option<&Path>, metrics_out: Option<&Path>) {
+    let spec = DeploymentSpec::mts(
+        SecurityLevel::Level2 { compartments: 2 },
+        DatapathKind::Kernel,
+        ResourceMode::Isolated,
+        Scenario::V2v,
+    );
+    let d = Controller::deploy(spec).expect("deployable");
+    let mut w = World::new(d, RuntimeCfg::for_spec(&spec), 1);
+    w.sink.window = (Time::ZERO, Time::MAX);
+    w.telemetry = Telemetry::enabled();
+    let mut e = Sim::new();
+    let flows: Vec<(MacAddr, std::net::Ipv4Addr)> = w
+        .plan
+        .tenants
+        .iter()
+        .map(|t| {
+            let c = w.spec.compartment_of_tenant(t.index) as usize;
+            (w.plan.compartments[c].in_out[0].1, t.ip)
+        })
+        .collect();
+    let horizon = if quick { 2_000_000 } else { 10_000_000 };
+    start_udp_generator(&mut e, flows, 50_000.0, 64, Time::from_nanos(horizon));
+    e.run_until(&mut w, Time::from_nanos(horizon * 3));
+
+    let rec = w.telemetry.recorder().expect("telemetry enabled");
+    let report = MediationAuditor::sriov().audit(&rec.journeys);
+    println!("== frame-journey trace (Level-2 v2v, kernel, isolated) ==");
+    println!(
+        "frames: sent {}  received {}  journeys {}  trace events {}",
+        w.sink.sent,
+        w.sink.received,
+        rec.journeys.len(),
+        rec.trace.len()
+    );
+    println!(
+        "mediation audit: {} tenant segments checked, {} skipped, {} violations",
+        report.checked,
+        report.skipped,
+        report.violations.len()
+    );
+    for v in report.violations.iter().take(5) {
+        println!("  VIOLATION frame {}: {}", v.frame, v.reason);
+    }
+    if !report.ok() {
+        eprintln!("repro: complete-mediation audit FAILED");
+        std::process::exit(1);
+    }
+    fn write_or_die(p: &Path, content: String, note: &str) {
+        if let Err(e) = fs::write(p, content) {
+            eprintln!("repro: cannot write {}: {e}", p.display());
+            std::process::exit(1);
+        }
+        eprintln!("  wrote {}{note}", p.display());
+    }
+    if let Some(p) = trace_out {
+        write_or_die(p, rec.trace.to_chrome_trace(), " (open in ui.perfetto.dev)");
+        write_or_die(&p.with_extension("jsonl"), rec.trace.to_jsonl(), "");
+    }
+    if let Some(p) = metrics_out {
+        write_or_die(p, rec.metrics.render_prometheus(), "");
     }
 }
 
@@ -183,6 +276,11 @@ fn main() {
                 println!("{}", perfiso::render(&rows));
             }
             "isolation" => println!("{}", isolation_matrix()),
+            "trace" => run_trace(
+                args.quick,
+                args.trace_out.as_deref(),
+                args.metrics_out.as_deref(),
+            ),
             "overlay" => {
                 // VXLAN overlay round trip (Sec. 3.2) on Level-2.
                 let spec = DeploymentSpec::mts(
@@ -203,11 +301,7 @@ fn main() {
                     .iter()
                     .map(|t| {
                         let c = w.spec.compartment_of_tenant(t.index) as usize;
-                        (
-                            w.plan.compartments[c].in_out[0].1,
-                            t.ip,
-                            cfg.vni(t.index),
-                        )
+                        (w.plan.compartments[c].in_out[0].1, t.ip, cfg.vni(t.index))
                     })
                     .collect();
                 overlay::start_overlay_generator(
@@ -262,13 +356,7 @@ fn main() {
                             (dmac, t.ip)
                         })
                         .collect();
-                    start_udp_generator(
-                        &mut e,
-                        flows,
-                        200_000.0,
-                        64,
-                        Time::from_nanos(20_000_000),
-                    );
+                    start_udp_generator(&mut e, flows, 200_000.0, 64, Time::from_nanos(20_000_000));
                     e.run_until(&mut w, Time::from_nanos(60_000_000));
                     print!("{}", billing::bill(&w));
                 }

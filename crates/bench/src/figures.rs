@@ -81,9 +81,7 @@ impl Fig5Panel {
     /// The deployment matrix of this row for a scenario.
     pub fn matrix(self, scenario: Scenario) -> Vec<DeploymentSpec> {
         match self {
-            Fig5Panel::Shared => {
-                fig5_matrix(ResourceMode::Shared, DatapathKind::Kernel, scenario)
-            }
+            Fig5Panel::Shared => fig5_matrix(ResourceMode::Shared, DatapathKind::Kernel, scenario),
             Fig5Panel::Isolated => {
                 fig5_matrix(ResourceMode::Isolated, DatapathKind::Kernel, scenario)
             }
@@ -148,7 +146,9 @@ pub fn pktsize_sweep(opts: ReproOpts) -> ThroughputReport {
                 Scenario::P2v,
             ),
         ] {
-            let o = RunOpts::latency().scaled(opts.scale).with_wire_len(wire_len);
+            let o = RunOpts::latency()
+                .scaled(opts.scale)
+                .with_wire_len(wire_len);
             if let Ok(mut m) = Testbed::new(spec).run(o) {
                 m.config = format!("{} {}B", m.config, wire_len);
                 rep.rows.push(m);

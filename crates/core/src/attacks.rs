@@ -129,7 +129,15 @@ pub fn evaluate(spec: DeploymentSpec) -> Result<IsolationReport, DeployError> {
 
 /// A frame from attacker MAC `src` to `dst` carrying `dst_ip`.
 fn attack_frame(src: MacAddr, dst: MacAddr, dst_ip: Ipv4Addr) -> Frame {
-    Frame::udp_data(src, dst, Ipv4Addr::new(10, 66, 6, 6), dst_ip, 6666, 6666, 64)
+    Frame::udp_data(
+        src,
+        dst,
+        Ipv4Addr::new(10, 66, 6, 6),
+        dst_ip,
+        6666,
+        6666,
+        64,
+    )
 }
 
 fn mac_spoofing(spec: DeploymentSpec) -> Result<AttackOutcome, DeployError> {
@@ -141,9 +149,11 @@ fn mac_spoofing(spec: DeploymentSpec) -> Result<AttackOutcome, DeployError> {
         let comp = &d.plan.compartments[spec.compartment_of_tenant(0) as usize];
         let gw_mac = comp.gw_for(0, 0).map(|(_, m)| m).unwrap_or(MacAddr::ZERO);
         let forged = MacAddr::local(0x0666_6666);
-        let out = d
-            .nic
-            .ingress(vf.pf, NicPort::Vf(vf.vf), attack_frame(forged, gw_mac, t.ip))?;
+        let out = d.nic.ingress(
+            vf.pf,
+            NicPort::Vf(vf.vf),
+            attack_frame(forged, gw_mac, t.ip),
+        )?;
         let spoof_drops = d.nic.pf(vf.pf)?.counters().dropped_spoof;
         Ok(AttackOutcome {
             attack: Attack::MacSpoofing,
@@ -258,9 +268,10 @@ fn flow_rule_misconfiguration(spec: DeploymentSpec) -> Result<AttackOutcome, Dep
         // Attacker frame enters via its gateway port and floods.
         let port = inst.gw[&(attacker_t, 0)];
         let (_, a_mac) = d.plan.tenants[attacker_t as usize].vf[0];
-        let out = inst
-            .sw
-            .process(port, attack_frame(a_mac, MacAddr::local(0x0abc), unmatched_ip));
+        let out = inst.sw.process(
+            port,
+            attack_frame(a_mac, MacAddr::local(0x0abc), unmatched_ip),
+        );
         // Flooded copies leave on this vswitch's ports; can any of them
         // physically reach the victim tenant? Only if this vswitch holds a
         // gateway VF for the victim (same compartment).
@@ -291,9 +302,9 @@ fn flow_rule_misconfiguration(spec: DeploymentSpec) -> Result<AttackOutcome, Dep
             port,
             attack_frame(MacAddr::local(1), MacAddr::local(0x0abc), unmatched_ip),
         );
-        let leaked = out
-            .iter()
-            .any(|(p, _)| matches!(inst.attach.get(p), Some(PortAttach::Vhost(v, _)) if *v == victim_t));
+        let leaked = out.iter().any(
+            |(p, _)| matches!(inst.attach.get(p), Some(PortAttach::Vhost(v, _)) if *v == victim_t),
+        );
         Ok(AttackOutcome {
             attack: Attack::FlowRuleMisconfiguration,
             blocked: !leaked,
@@ -396,9 +407,7 @@ fn datapath_exploit(spec: DeploymentSpec) -> AttackOutcome {
 /// Convenience: evaluates the canonical level ladder for the docs/examples.
 pub fn evaluate_ladder() -> Result<Vec<IsolationReport>, DeployError> {
     use mts_host::ResourceMode;
-    let mk = |level, dp| {
-        DeploymentSpec::mts(level, dp, ResourceMode::Shared, Scenario::P2v)
-    };
+    let mk = |level, dp| DeploymentSpec::mts(level, dp, ResourceMode::Shared, Scenario::P2v);
     Ok(vec![
         evaluate(DeploymentSpec::baseline(
             DatapathKind::Kernel,
@@ -407,9 +416,18 @@ pub fn evaluate_ladder() -> Result<Vec<IsolationReport>, DeployError> {
             Scenario::P2v,
         ))?,
         evaluate(mk(SecurityLevel::Level1, DatapathKind::Kernel))?,
-        evaluate(mk(SecurityLevel::Level2 { compartments: 2 }, DatapathKind::Kernel))?,
-        evaluate(mk(SecurityLevel::Level2 { compartments: 4 }, DatapathKind::Kernel))?,
-        evaluate(mk(SecurityLevel::Level2 { compartments: 4 }, DatapathKind::Dpdk))?,
+        evaluate(mk(
+            SecurityLevel::Level2 { compartments: 2 },
+            DatapathKind::Kernel,
+        ))?,
+        evaluate(mk(
+            SecurityLevel::Level2 { compartments: 4 },
+            DatapathKind::Kernel,
+        ))?,
+        evaluate(mk(
+            SecurityLevel::Level2 { compartments: 4 },
+            DatapathKind::Dpdk,
+        ))?,
     ])
 }
 
@@ -428,12 +446,7 @@ mod tests {
     }
 
     fn baseline() -> DeploymentSpec {
-        DeploymentSpec::baseline(
-            DatapathKind::Kernel,
-            ResourceMode::Shared,
-            1,
-            Scenario::P2v,
-        )
+        DeploymentSpec::baseline(DatapathKind::Kernel, ResourceMode::Shared, 1, Scenario::P2v)
     }
 
     #[test]
@@ -470,14 +483,27 @@ mod tests {
     fn misconfig_leak_contained_only_by_level2() {
         // Baseline: the flood crosses tenants.
         let base = evaluate(baseline()).unwrap();
-        assert!(!base.outcome(Attack::FlowRuleMisconfiguration).unwrap().blocked);
+        assert!(
+            !base
+                .outcome(Attack::FlowRuleMisconfiguration)
+                .unwrap()
+                .blocked
+        );
         // Level-1: tenants share the single vswitch VM; tenant 1's gateway
         // VFs hang off the same switch, so the flood still reaches it.
         let l1 = evaluate(spec(SecurityLevel::Level1)).unwrap();
-        assert!(!l1.outcome(Attack::FlowRuleMisconfiguration).unwrap().blocked);
+        assert!(
+            !l1.outcome(Attack::FlowRuleMisconfiguration)
+                .unwrap()
+                .blocked
+        );
         // Level-2: tenants 0 and 1 live behind different vswitch VMs.
         let l2 = evaluate(spec(SecurityLevel::Level2 { compartments: 2 })).unwrap();
-        assert!(l2.outcome(Attack::FlowRuleMisconfiguration).unwrap().blocked);
+        assert!(
+            l2.outcome(Attack::FlowRuleMisconfiguration)
+                .unwrap()
+                .blocked
+        );
     }
 
     #[test]

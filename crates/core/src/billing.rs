@@ -245,7 +245,9 @@ mod tests {
             .map(|c| c.busy_for(0x1000))
             .fold(Dur::ZERO, |a, b| a + b);
         let billed = report.total_cpu();
-        let diff = user_total.saturating_sub(billed).max(billed.saturating_sub(user_total));
+        let diff = user_total
+            .saturating_sub(billed)
+            .max(billed.saturating_sub(user_total));
         assert!(
             diff < Dur::micros(1),
             "split must conserve: {user_total} vs {billed}"
@@ -254,12 +256,8 @@ mod tests {
 
     #[test]
     fn baseline_cpu_is_unattributable() {
-        let spec = DeploymentSpec::baseline(
-            DatapathKind::Kernel,
-            ResourceMode::Shared,
-            1,
-            Scenario::P2v,
-        );
+        let spec =
+            DeploymentSpec::baseline(DatapathKind::Kernel, ResourceMode::Shared, 1, Scenario::P2v);
         let w = run(spec);
         let report = bill(&w);
         assert!(report.unattributed_cpu > Dur::ZERO);

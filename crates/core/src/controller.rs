@@ -14,9 +14,7 @@ use crate::spec::{DeploymentSpec, Scenario, SecurityLevel};
 use crate::vfplan::AddressPlan;
 use mts_net::MacAddr;
 use mts_nic::{FilterRule, NicError, NicModel, PfId, PortClass, SriovNic, VfConfig, VfId};
-use mts_vswitch::{
-    Action, DatapathCosts, FlowMatch, FlowRule, PortKind, PortNo, VirtualSwitch,
-};
+use mts_vswitch::{Action, DatapathCosts, FlowMatch, FlowRule, PortKind, PortNo, VirtualSwitch};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -572,7 +570,11 @@ impl Controller {
         let spec = d.spec;
         let plan = d.plan.clone();
         let v2v = spec.scenario == Scenario::V2v;
-        let pairs = if v2v { Some(Self::v2v_pairs(&spec)?) } else { None };
+        let pairs = if v2v {
+            Some(Self::v2v_pairs(&spec)?)
+        } else {
+            None
+        };
         match spec.level {
             SecurityLevel::Baseline => {
                 let inst = &mut d.vswitches[0];
@@ -742,9 +744,7 @@ mod tests {
         // 2 rules per tenant.
         assert_eq!(inst.sw.rule_count(), 8);
         // NIC has the full VF population: (1 in/out + 4 gw + 4 tenant) x 2.
-        let vfs: usize = (0..2)
-            .map(|p| d.nic.pf(PfId(p)).unwrap().vf_count())
-            .sum();
+        let vfs: usize = (0..2).map(|p| d.nic.pf(PfId(p)).unwrap().vf_count()).sum();
         assert_eq!(vfs, 18);
     }
 

@@ -28,9 +28,9 @@
 
 pub mod attacks;
 pub mod billing;
+pub mod controller;
 pub mod overlay;
 pub mod perfiso;
-pub mod controller;
 pub mod results;
 pub mod runtime;
 pub mod spec;

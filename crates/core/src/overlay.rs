@@ -17,12 +17,12 @@
 use crate::controller::{DeployError, Deployment};
 use crate::runtime::{wire_inject, Sim, World};
 use crate::spec::SecurityLevel;
+use mts_net::IpProto;
 use mts_net::{
     Frame, Ipv4Packet, MacAddr, Payload, Transport, UdpDatagram, UdpPayload, Vni, VXLAN_UDP_PORT,
 };
 use mts_nic::PfId;
 use mts_sim::{Dur, Time};
-use mts_net::IpProto;
 use mts_vswitch::{Action, FlowMatch, FlowRule, TableId};
 use std::net::Ipv4Addr;
 
@@ -263,7 +263,14 @@ mod tests {
                 (w.plan.compartments[c].in_out[0].1, t.ip, cfg.vni(t.index))
             })
             .collect();
-        start_overlay_generator(&mut e, flows, cfg, 40_000.0, 128, Time::from_nanos(3_000_000));
+        start_overlay_generator(
+            &mut e,
+            flows,
+            cfg,
+            40_000.0,
+            128,
+            Time::from_nanos(3_000_000),
+        );
         e.run_until(&mut w, Time::from_nanos(20_000_000));
         assert_eq!(w.sink.sent, 120);
         assert_eq!(w.sink.received, 120, "drops: {:?}", w.drops);
@@ -283,10 +290,21 @@ mod tests {
                 (w.plan.compartments[c].in_out[0].1, t.ip, cfg.vni(t.index))
             })
             .collect();
-        start_overlay_generator(&mut e, flows, cfg, 40_000.0, 256, Time::from_nanos(3_000_000));
+        start_overlay_generator(
+            &mut e,
+            flows,
+            cfg,
+            40_000.0,
+            256,
+            Time::from_nanos(3_000_000),
+        );
         e.run_until(&mut w, Time::from_nanos(20_000_000));
         assert_eq!(w.sink.received, w.sink.sent, "drops: {:?}", w.drops);
-        assert!(w.sink.per_flow.iter().all(|&c| c > 0), "{:?}", w.sink.per_flow);
+        assert!(
+            w.sink.per_flow.iter().all(|&c| c > 0),
+            "{:?}",
+            w.sink.per_flow
+        );
     }
 
     #[test]
@@ -297,19 +315,22 @@ mod tests {
         let victim_ip = w.plan.tenants[1].ip;
         let dmac = w.plan.compartments[0].in_out[0].1;
         let flows = vec![(dmac, victim_ip, cfg.vni(0))]; // mismatched VNI
-        start_overlay_generator(&mut e, flows, cfg, 40_000.0, 128, Time::from_nanos(1_000_000));
+        start_overlay_generator(
+            &mut e,
+            flows,
+            cfg,
+            40_000.0,
+            128,
+            Time::from_nanos(1_000_000),
+        );
         e.run_until(&mut w, Time::from_nanos(10_000_000));
         assert_eq!(w.sink.received, 0, "cross-VNI traffic leaked");
     }
 
     #[test]
     fn baseline_overlay_is_rejected() {
-        let spec = DeploymentSpec::baseline(
-            DatapathKind::Kernel,
-            ResourceMode::Shared,
-            1,
-            Scenario::P2v,
-        );
+        let spec =
+            DeploymentSpec::baseline(DatapathKind::Kernel, ResourceMode::Shared, 1, Scenario::P2v);
         let mut d = Controller::build(spec, 2).unwrap();
         assert!(install_overlay_rules(&mut d, OverlayConfig::default()).is_err());
     }
@@ -345,10 +366,16 @@ mod tests {
             }),
         );
         assert_eq!(inner_dst_ip(&outer), plain_dst);
-        assert_eq!(inner_dst_ip(&Frame::new(
-            MacAddr::local(1),
-            MacAddr::local(2),
-            Payload::Raw { ethertype: 0x88b5, len: 46 },
-        )), None);
+        assert_eq!(
+            inner_dst_ip(&Frame::new(
+                MacAddr::local(1),
+                MacAddr::local(2),
+                Payload::Raw {
+                    ethertype: 0x88b5,
+                    len: 46
+                },
+            )),
+            None
+        );
     }
 }

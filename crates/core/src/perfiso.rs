@@ -143,9 +143,7 @@ fn run_phase(
 
 /// Renders a comparison table across configurations.
 pub fn render(results: &[NoisyNeighborResult]) -> String {
-    let mut out = String::from(
-        "== Noisy neighbor: victim p50 latency, quiet vs under attack ==\n",
-    );
+    let mut out = String::from("== Noisy neighbor: victim p50 latency, quiet vs under attack ==\n");
     out.push_str(&format!(
         "{:<26} {:>12} {:>12} {:>8} {:>10}\n",
         "config", "quiet us", "noisy us", "amp", "loss %"
@@ -182,12 +180,8 @@ mod tests {
 
     #[test]
     fn baseline_victim_suffers_under_attack() {
-        let spec = DeploymentSpec::baseline(
-            DatapathKind::Kernel,
-            ResourceMode::Shared,
-            1,
-            Scenario::P2v,
-        );
+        let spec =
+            DeploymentSpec::baseline(DatapathKind::Kernel, ResourceMode::Shared, 1, Scenario::P2v);
         let r = noisy_neighbor(spec, opts()).unwrap();
         assert!(
             r.amplification() > 5.0,
@@ -196,7 +190,11 @@ mod tests {
             r.victim_quiet.p50,
             r.victim_noisy.p50
         );
-        assert!(r.victim_loss > 0.2, "baseline victim loss {}", r.victim_loss);
+        assert!(
+            r.victim_loss > 0.2,
+            "baseline victim loss {}",
+            r.victim_loss
+        );
     }
 
     #[test]
@@ -227,7 +225,11 @@ mod tests {
             Scenario::P2v,
         );
         let r = noisy_neighbor(spec, opts()).unwrap();
-        assert!(r.victim_loss < 0.6, "shared-core victim loss {}", r.victim_loss);
+        assert!(
+            r.victim_loss < 0.6,
+            "shared-core victim loss {}",
+            r.victim_loss
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ use mts_host::{LinuxBridge, ResourceMode, VhostCosts};
 use mts_net::{Frame, MacAddr};
 use mts_nic::{NicPort, PfId, SriovNic, VfId};
 use mts_sim::{CoreId, CorePool, DetRng, Dur, Engine, Histogram, Link, Time};
+use mts_telemetry::{DropCause, Hop, NicEndpoint, Telemetry};
 use mts_vswitch::{DatapathCosts, DatapathKind, PortKind, PortNo};
 use std::collections::{BTreeMap, HashMap};
 
@@ -231,7 +232,7 @@ pub struct World {
     /// UDP sink/tap record.
     pub sink: SinkRec,
     /// Drop counters by cause.
-    pub drops: BTreeMap<String, u64>,
+    pub drops: BTreeMap<DropCause, u64>,
     /// Deterministic randomness.
     pub rng: DetRng,
     /// Diagnostics: worst hairpin queueing delay observed.
@@ -240,6 +241,8 @@ pub struct World {
     pub max_dma_wait: Dur,
     /// Optional packet capture at the tap (frames leaving the DUT).
     pub capture: Option<mts_net::pcap::PcapWriter>,
+    /// Telemetry sink (disabled by default; see `mts-telemetry`).
+    pub telemetry: Telemetry,
 }
 
 /// The engine type driving a [`World`].
@@ -413,12 +416,26 @@ impl World {
             max_hairpin_wait: Dur::ZERO,
             max_dma_wait: Dur::ZERO,
             capture: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
-    /// Increments a drop counter.
-    pub fn drop_frame(&mut self, cause: &str) {
-        *self.drops.entry(cause.to_string()).or_insert(0) += 1;
+    /// Increments a drop counter (and its telemetry mirror).
+    pub fn drop_frame(&mut self, cause: DropCause) {
+        *self.drops.entry(cause).or_insert(0) += 1;
+        if let Some(rec) = self.telemetry.rec() {
+            rec.metrics
+                .counter_inc("mts_drops_total", &[("cause", cause.as_str())]);
+        }
+    }
+
+    /// Like [`World::drop_frame`], additionally closing frame `fid`'s
+    /// journey with a drop hop at simulated time `at`.
+    pub fn drop_frame_traced(&mut self, at: Time, fid: u64, cause: DropCause) {
+        self.drop_frame(cause);
+        if let Some(rec) = self.telemetry.rec() {
+            rec.hop(fid, at, Hop::Drop { cause });
+        }
     }
 
     /// Total drops across causes.
@@ -460,9 +477,29 @@ pub fn tso_factor(frame: &Frame) -> u64 {
     }
 }
 
+/// Classifies a NIC port as a journey endpoint (for `NicSwitch` hops).
+/// Unclaimed VFs are classified as [`NicEndpoint::Pf`] best-effort; the
+/// frames heading there are dropped as `vf-unclaimed` anyway.
+fn nic_endpoint(w: &World, pf: PfId, port: NicPort) -> NicEndpoint {
+    match port {
+        NicPort::Wire => NicEndpoint::Wire,
+        NicPort::Pf => NicEndpoint::Pf,
+        NicPort::Vf(vf) => match w.vf_owner.get(&(pf.0, vf.0)) {
+            Some(Owner::Tenant(t, _)) => NicEndpoint::TenantVf { tenant: *t as u8 },
+            Some(Owner::Vswitch(i, _)) => NicEndpoint::VswitchVf { vswitch: *i as u8 },
+            None => NicEndpoint::Pf,
+        },
+    }
+}
+
 /// Injects a frame from the external side onto physical port `pf`.
 pub fn wire_inject(w: &mut World, e: &mut Sim, pf: PfId, frame: Frame) {
     let now = e.now();
+    if let Some(rec) = w.telemetry.rec() {
+        rec.hop(frame.id, now, Hop::WireIngress { pf: pf.0 });
+        rec.metrics
+            .counter_inc("mts_wire_ingress_total", &[("pf", &pf.0.to_string())]);
+    }
     let arrival = w.wires_in[pf.0 as usize].transmit(now, u64::from(frame.wire_len()));
     e.schedule_at(arrival, move |w, e| nic_rx(w, e, pf, NicPort::Wire, frame));
 }
@@ -471,25 +508,49 @@ pub fn wire_inject(w: &mut World, e: &mut Sim, pf: PfId, frame: Frame) {
 pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame) {
     let now = e.now();
     let switch_latency = w.nic.model().switch_latency;
+    let fid = frame.id;
+    let from = nic_endpoint(w, pf, port);
     let before = w.nic.counters();
     let deliveries = match w.nic.ingress(pf, port, frame) {
         Ok(d) => d,
         Err(_) => {
-            w.drop_frame("nic-error");
+            w.drop_frame_traced(now, fid, DropCause::NicError);
             return;
         }
     };
     let after = w.nic.counters();
     if after.dropped_spoof > before.dropped_spoof {
-        w.drop_frame("nic-spoof");
+        w.drop_frame_traced(now, fid, DropCause::NicSpoof);
     }
     if after.dropped_filter > before.dropped_filter {
-        w.drop_frame("nic-filter");
+        w.drop_frame_traced(now, fid, DropCause::NicFilter);
     }
     if after.dropped_vlan > before.dropped_vlan {
-        w.drop_frame("nic-vlan");
+        w.drop_frame_traced(now, fid, DropCause::NicVlan);
     }
     for d in deliveries {
+        if w.telemetry.is_enabled() {
+            let to = nic_endpoint(w, pf, d.port);
+            if let Some(rec) = w.telemetry.rec() {
+                rec.hop(
+                    d.frame.id,
+                    now,
+                    Hop::NicSwitch {
+                        pf: pf.0,
+                        from,
+                        to,
+                        hairpin: d.hairpin,
+                    },
+                );
+                rec.metrics.counter_inc(
+                    "mts_nic_switch_total",
+                    &[
+                        ("pf", &pf.0.to_string()),
+                        ("hairpin", if d.hairpin { "1" } else { "0" }),
+                    ],
+                );
+            }
+        }
         let mut t = now + switch_latency;
         // The VF↔VF hairpin budget binds on VM-bound loopback deliveries
         // (frames scheduled into a tenant VF's rx queue): this single
@@ -505,10 +566,14 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
             match w.nic.admit_hairpin(pf, t) {
                 Some(done) => {
                     w.max_hairpin_wait = w.max_hairpin_wait.max(done - t);
+                    if let Some(rec) = w.telemetry.rec() {
+                        rec.metrics
+                            .observe("mts_hairpin_wait_ns", &[], (done - t).as_nanos());
+                    }
                     t = done;
                 }
                 None => {
-                    w.drop_frame("hairpin-overflow");
+                    w.drop_frame_traced(t, d.frame.id, DropCause::HairpinOverflow);
                     continue;
                 }
             }
@@ -534,41 +599,54 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
                             let len = u64::from(frame.wire_len());
                             let arr = w.nic.dma(e.now(), len);
                             w.max_dma_wait = w.max_dma_wait.max(arr - e.now());
+                            if let Some(rec) = w.telemetry.rec() {
+                                rec.metrics.observe(
+                                    "mts_dma_wait_ns",
+                                    &[],
+                                    (arr - e.now()).as_nanos(),
+                                );
+                            }
                             e.schedule_at(arr, move |w, e| {
                                 vswitch_rx(w, e, i, port, frame, false);
                             });
                         });
                     }
-                    None => w.drop_frame("pf-unclaimed"),
+                    None => w.drop_frame_traced(t, d.frame.id, DropCause::PfUnclaimed),
                 }
             }
-            NicPort::Vf(vf) => {
-                match w.vf_owner.get(&(pf.0, vf.0)).copied() {
-                    Some(Owner::Vswitch(i, port)) => {
-                        let frame = d.frame;
-                        e.schedule_at(t, move |w, e| {
-                            let len = u64::from(frame.wire_len());
-                            let arr = w.nic.dma(e.now(), len);
-                            w.max_dma_wait = w.max_dma_wait.max(arr - e.now());
-                            e.schedule_at(arr, move |w, e| {
-                                vswitch_rx(w, e, i, port, frame, false);
-                            });
+            NicPort::Vf(vf) => match w.vf_owner.get(&(pf.0, vf.0)).copied() {
+                Some(Owner::Vswitch(i, port)) => {
+                    let frame = d.frame;
+                    e.schedule_at(t, move |w, e| {
+                        let len = u64::from(frame.wire_len());
+                        let arr = w.nic.dma(e.now(), len);
+                        w.max_dma_wait = w.max_dma_wait.max(arr - e.now());
+                        if let Some(rec) = w.telemetry.rec() {
+                            rec.metrics
+                                .observe("mts_dma_wait_ns", &[], (arr - e.now()).as_nanos());
+                        }
+                        e.schedule_at(arr, move |w, e| {
+                            vswitch_rx(w, e, i, port, frame, false);
                         });
-                    }
-                    Some(Owner::Tenant(t_idx, side)) => {
-                        let frame = d.frame;
-                        e.schedule_at(t, move |w, e| {
-                            let len = u64::from(frame.wire_len());
-                            let arr = w.nic.dma(e.now(), len);
-                            w.max_dma_wait = w.max_dma_wait.max(arr - e.now());
-                            e.schedule_at(arr, move |w, e| {
-                                tenant_rx(w, e, t_idx, side, frame);
-                            });
-                        });
-                    }
-                    None => w.drop_frame("vf-unclaimed"),
+                    });
                 }
-            }
+                Some(Owner::Tenant(t_idx, side)) => {
+                    let frame = d.frame;
+                    e.schedule_at(t, move |w, e| {
+                        let len = u64::from(frame.wire_len());
+                        let arr = w.nic.dma(e.now(), len);
+                        w.max_dma_wait = w.max_dma_wait.max(arr - e.now());
+                        if let Some(rec) = w.telemetry.rec() {
+                            rec.metrics
+                                .observe("mts_dma_wait_ns", &[], (arr - e.now()).as_nanos());
+                        }
+                        e.schedule_at(arr, move |w, e| {
+                            tenant_rx(w, e, t_idx, side, frame);
+                        });
+                    });
+                }
+                None => w.drop_frame_traced(t, d.frame.id, DropCause::VfUnclaimed),
+            },
         }
     }
 }
@@ -587,10 +665,29 @@ pub fn vswitch_rx(
     let cap = w.cfg.rx_ring;
     let queued = vs.inflight.entry(port).or_insert(0);
     if *queued >= cap {
-        w.drop_frame("vswitch-ring");
+        w.drop_frame_traced(now, frame.id, DropCause::VswitchRing);
         return;
     }
     *queued += 1;
+    let occupancy = *queued;
+    if let Some(rec) = w.telemetry.rec() {
+        rec.hop(
+            frame.id,
+            now,
+            Hop::VswitchRecv {
+                vswitch: i as u8,
+                port: port.0,
+            },
+        );
+        let vs_label = i.to_string();
+        rec.metrics
+            .counter_inc("mts_vswitch_rx_total", &[("vswitch", &vs_label)]);
+        rec.metrics.gauge_max(
+            "mts_vswitch_ring_hwm",
+            &[("vswitch", &vs_label), ("port", &port.0.to_string())],
+            occupancy as f64,
+        );
+    }
 
     // Cost estimate: fast-path lookup + amortized batch overhead + the
     // rx-side device cost; a cache miss extends the grant afterwards.
@@ -670,6 +767,7 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
             }
         }
     }
+    let fid = frame.id;
     let misses_before = vs.inst.sw.cache_stats().misses;
     let outputs = vs.inst.sw.process(port, frame);
     let missed = vs.inst.sw.cache_stats().misses > misses_before;
@@ -706,6 +804,26 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
             .acquire(now, user, extra)
             .end
     };
+    if let Some(rec) = w.telemetry.rec() {
+        let dur = deliver_at.saturating_since(now);
+        rec.hop_timed(
+            fid,
+            now,
+            Hop::VswitchForward {
+                vswitch: i as u8,
+                cache_hit: !missed,
+                outputs: out_plans.len() as u8,
+            },
+            if dur.is_zero() { None } else { Some(dur) },
+        );
+        rec.metrics.counter_inc(
+            "mts_vswitch_cache_total",
+            &[
+                ("result", if missed { "miss" } else { "hit" }),
+                ("vswitch", &i.to_string()),
+            ],
+        );
+    }
 
     let dpdk = !w.vswitches[i].kernel;
     for (attach, kind, out_frame) in out_plans {
@@ -743,7 +861,7 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
                     tenant_rx(w, e, t_idx, side, out_frame);
                 });
             }
-            None => w.drop_frame("unattached-port"),
+            None => w.drop_frame_traced(t, out_frame.id, DropCause::UnattachedPort),
         }
     }
 }
@@ -751,10 +869,23 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
 /// A frame arrives at tenant VM `t` on `side`.
 pub fn tenant_rx(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Frame) {
     let now = e.now();
-    let Some(tenant) = w.tenants.get_mut(t) else {
-        w.drop_frame("no-such-tenant");
+    if t >= w.tenants.len() {
+        w.drop_frame_traced(now, frame.id, DropCause::NoSuchTenant);
         return;
-    };
+    }
+    if let Some(rec) = w.telemetry.rec() {
+        rec.hop(
+            frame.id,
+            now,
+            Hop::TenantRx {
+                tenant: t as u8,
+                side,
+            },
+        );
+        rec.metrics
+            .counter_inc("mts_tenant_rx_total", &[("tenant", &t.to_string())]);
+    }
+    let tenant = &mut w.tenants[t];
     let core = tenant.cores[usize::from(side) % 2];
     match &mut tenant.kind {
         TenantKind::Fwd { .. } => {
@@ -840,10 +971,25 @@ fn tenant_drain(w: &mut World, e: &mut Sim, t: usize, side: u8) {
 fn tenant_emit(w: &mut World, e: &mut Sim, t: usize, tx: u8, frames: Vec<Frame>) {
     let now = e.now();
     let Some((pf, vf)) = w.tenants[t].vf.get(usize::from(tx)).copied() else {
-        w.drop_frame("tenant-no-vf");
+        match frames.first() {
+            Some(f) => w.drop_frame_traced(now, f.id, DropCause::TenantNoVf),
+            None => w.drop_frame(DropCause::TenantNoVf),
+        }
         return;
     };
     for frame in frames {
+        if let Some(rec) = w.telemetry.rec() {
+            rec.hop(
+                frame.id,
+                now,
+                Hop::TenantTx {
+                    tenant: t as u8,
+                    side: tx,
+                },
+            );
+            rec.metrics
+                .counter_inc("mts_tenant_tx_total", &[("tenant", &t.to_string())]);
+        }
         let arr = w.nic.dma(now, u64::from(frame.wire_len()));
         e.schedule_at(arr, move |w, e| nic_rx(w, e, pf, NicPort::Vf(vf), frame));
     }
@@ -869,7 +1015,8 @@ fn tenant_bridge_exec(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Fra
                     .get(&(tenant_idx, out_side as u8))
                     .map(|p| (i, *p))
             }) else {
-                w.drop_frame("vhost-unrouted");
+                let now = e.now();
+                w.drop_frame_traced(now, frame.id, DropCause::VhostUnrouted);
                 return;
             };
             vswitch_rx(w, e, i, port, frame, true);
@@ -880,6 +1027,11 @@ fn tenant_bridge_exec(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Fra
 /// A frame leaves the DUT on physical port `pf`.
 fn external_rx(w: &mut World, e: &mut Sim, pf: PfId, frame: Frame) {
     let now = e.now();
+    if let Some(rec) = w.telemetry.rec() {
+        rec.hop(frame.id, now, Hop::WireEgress { pf: pf.0 });
+        rec.metrics
+            .counter_inc("mts_wire_egress_total", &[("pf", &pf.0.to_string())]);
+    }
     if let Some(cap) = &mut w.capture {
         cap.record(now.as_nanos(), &frame);
     }
@@ -893,13 +1045,23 @@ fn external_rx(w: &mut World, e: &mut Sim, pf: PfId, frame: Frame) {
                 let lat = (now - origin).as_nanos();
                 w.sink.latency.record(lat);
                 // Flow attribution sees through one overlay layer.
-                if let Some(ip) = crate::overlay::inner_dst_ip(&frame) {
-                    if let Some(t) = w.plan.tenant_by_ip(ip) {
-                        let idx = t.index as usize;
-                        if idx < w.sink.per_flow.len() {
-                            w.sink.per_flow[idx] += 1;
-                            w.sink.latency_by_flow[idx].record(lat);
-                        }
+                let flow = crate::overlay::inner_dst_ip(&frame)
+                    .and_then(|ip| w.plan.tenant_by_ip(ip))
+                    .map(|t| t.index as usize);
+                if let Some(idx) = flow {
+                    if idx < w.sink.per_flow.len() {
+                        w.sink.per_flow[idx] += 1;
+                        w.sink.latency_by_flow[idx].record(lat);
+                    }
+                }
+                if let Some(rec) = w.telemetry.rec() {
+                    rec.metrics.observe("mts_e2e_latency_ns", &[], lat);
+                    if let Some(idx) = flow {
+                        rec.metrics.observe(
+                            "mts_e2e_latency_ns_by_tenant",
+                            &[("tenant", &idx.to_string())],
+                            lat,
+                        );
                     }
                 }
             }
@@ -1047,12 +1209,8 @@ mod tests {
 
     #[test]
     fn baseline_p2v_works_via_vhost() {
-        let spec = DeploymentSpec::baseline(
-            DatapathKind::Kernel,
-            ResourceMode::Shared,
-            1,
-            Scenario::P2v,
-        );
+        let spec =
+            DeploymentSpec::baseline(DatapathKind::Kernel, ResourceMode::Shared, 1, Scenario::P2v);
         let d = Controller::deploy(spec).unwrap();
         let cfg = RuntimeCfg::for_spec(&spec);
         let mut w = World::new(d, cfg, 7);
@@ -1178,8 +1336,7 @@ mod tests {
         );
         let mut ei = Sim::new();
         run_probes(&mut iso, &mut ei, 400, 10_000.0);
-        let spread_s =
-            shared.sink.latency.percentile(90.0) - shared.sink.latency.percentile(10.0);
+        let spread_s = shared.sink.latency.percentile(90.0) - shared.sink.latency.percentile(10.0);
         let spread_i = iso.sink.latency.percentile(90.0) - iso.sink.latency.percentile(10.0);
         assert!(
             spread_s > spread_i,

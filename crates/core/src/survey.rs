@@ -54,28 +54,204 @@ pub struct VswitchDesign {
 
 /// The 22 rows of Table 1.
 pub const SURVEY: &[VswitchDesign] = &[
-    VswitchDesign { name: "OvS", year: 2009, emphasis: "Flexibility", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::Yes, user_path: Trait3::Partial },
-    VswitchDesign { name: "Cisco NexusV", year: 2009, emphasis: "Flexibility", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::Yes, user_path: Trait3::No },
-    VswitchDesign { name: "VMware vSwitch", year: 2009, emphasis: "Centralized control", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::Yes, user_path: Trait3::No },
-    VswitchDesign { name: "Vale", year: 2012, emphasis: "Performance", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::Yes, user_path: Trait3::No },
-    VswitchDesign { name: "Research prototype (Jin et al.)", year: 2012, emphasis: "Isolation", monolithic: Trait3::Yes, colocated: Trait3::No, kernel_path: Trait3::Partial, user_path: Trait3::Partial },
-    VswitchDesign { name: "Hyper-Switch", year: 2013, emphasis: "Performance", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::Yes, user_path: Trait3::Partial },
-    VswitchDesign { name: "MS HyperV-Switch", year: 2013, emphasis: "Centralized control", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::Yes, user_path: Trait3::No },
-    VswitchDesign { name: "NetVM", year: 2014, emphasis: "Performance, NFV", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::No, user_path: Trait3::Partial },
-    VswitchDesign { name: "sv3", year: 2014, emphasis: "Security", monolithic: Trait3::No, colocated: Trait3::Yes, kernel_path: Trait3::No, user_path: Trait3::Partial },
-    VswitchDesign { name: "fd.io", year: 2015, emphasis: "Performance", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::No, user_path: Trait3::Partial },
-    VswitchDesign { name: "mSwitch", year: 2015, emphasis: "Performance", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::Partial, user_path: Trait3::No },
-    VswitchDesign { name: "BESS", year: 2015, emphasis: "Programmability, NFV", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::No, user_path: Trait3::Partial },
-    VswitchDesign { name: "PISCES", year: 2016, emphasis: "Programmability", monolithic: Trait3::Yes, colocated: Trait3::Partial, kernel_path: Trait3::Partial, user_path: Trait3::Partial },
-    VswitchDesign { name: "OvS with DPDK", year: 2016, emphasis: "Performance", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::No, user_path: Trait3::Partial },
-    VswitchDesign { name: "ESwitch", year: 2016, emphasis: "Performance", monolithic: Trait3::Yes, colocated: Trait3::Partial, kernel_path: Trait3::No, user_path: Trait3::Partial },
-    VswitchDesign { name: "MS VFP", year: 2017, emphasis: "Performance, flexibility", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::Partial, user_path: Trait3::No },
-    VswitchDesign { name: "Mellanox BlueField", year: 2017, emphasis: "CPU offload", monolithic: Trait3::Yes, colocated: Trait3::No, kernel_path: Trait3::Partial, user_path: Trait3::Partial },
-    VswitchDesign { name: "Liquid IO", year: 2017, emphasis: "CPU offload", monolithic: Trait3::Yes, colocated: Trait3::No, kernel_path: Trait3::Yes, user_path: Trait3::Partial },
-    VswitchDesign { name: "Stingray", year: 2017, emphasis: "CPU offload", monolithic: Trait3::Yes, colocated: Trait3::No, kernel_path: Trait3::Partial, user_path: Trait3::Partial },
-    VswitchDesign { name: "GPU-based OvS", year: 2017, emphasis: "Acceleration", monolithic: Trait3::Yes, colocated: Trait3::Yes, kernel_path: Trait3::Yes, user_path: Trait3::Partial },
-    VswitchDesign { name: "MS AccelNet", year: 2018, emphasis: "Performance, flexibility", monolithic: Trait3::Yes, colocated: Trait3::Partial, kernel_path: Trait3::Partial, user_path: Trait3::No },
-    VswitchDesign { name: "Google Andromeda", year: 2018, emphasis: "Flexibility and performance", monolithic: Trait3::Yes, colocated: Trait3::Partial, kernel_path: Trait3::No, user_path: Trait3::Partial },
+    VswitchDesign {
+        name: "OvS",
+        year: 2009,
+        emphasis: "Flexibility",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::Yes,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "Cisco NexusV",
+        year: 2009,
+        emphasis: "Flexibility",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::Yes,
+        user_path: Trait3::No,
+    },
+    VswitchDesign {
+        name: "VMware vSwitch",
+        year: 2009,
+        emphasis: "Centralized control",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::Yes,
+        user_path: Trait3::No,
+    },
+    VswitchDesign {
+        name: "Vale",
+        year: 2012,
+        emphasis: "Performance",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::Yes,
+        user_path: Trait3::No,
+    },
+    VswitchDesign {
+        name: "Research prototype (Jin et al.)",
+        year: 2012,
+        emphasis: "Isolation",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::No,
+        kernel_path: Trait3::Partial,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "Hyper-Switch",
+        year: 2013,
+        emphasis: "Performance",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::Yes,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "MS HyperV-Switch",
+        year: 2013,
+        emphasis: "Centralized control",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::Yes,
+        user_path: Trait3::No,
+    },
+    VswitchDesign {
+        name: "NetVM",
+        year: 2014,
+        emphasis: "Performance, NFV",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::No,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "sv3",
+        year: 2014,
+        emphasis: "Security",
+        monolithic: Trait3::No,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::No,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "fd.io",
+        year: 2015,
+        emphasis: "Performance",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::No,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "mSwitch",
+        year: 2015,
+        emphasis: "Performance",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::Partial,
+        user_path: Trait3::No,
+    },
+    VswitchDesign {
+        name: "BESS",
+        year: 2015,
+        emphasis: "Programmability, NFV",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::No,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "PISCES",
+        year: 2016,
+        emphasis: "Programmability",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Partial,
+        kernel_path: Trait3::Partial,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "OvS with DPDK",
+        year: 2016,
+        emphasis: "Performance",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::No,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "ESwitch",
+        year: 2016,
+        emphasis: "Performance",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Partial,
+        kernel_path: Trait3::No,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "MS VFP",
+        year: 2017,
+        emphasis: "Performance, flexibility",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::Partial,
+        user_path: Trait3::No,
+    },
+    VswitchDesign {
+        name: "Mellanox BlueField",
+        year: 2017,
+        emphasis: "CPU offload",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::No,
+        kernel_path: Trait3::Partial,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "Liquid IO",
+        year: 2017,
+        emphasis: "CPU offload",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::No,
+        kernel_path: Trait3::Yes,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "Stingray",
+        year: 2017,
+        emphasis: "CPU offload",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::No,
+        kernel_path: Trait3::Partial,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "GPU-based OvS",
+        year: 2017,
+        emphasis: "Acceleration",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Yes,
+        kernel_path: Trait3::Yes,
+        user_path: Trait3::Partial,
+    },
+    VswitchDesign {
+        name: "MS AccelNet",
+        year: 2018,
+        emphasis: "Performance, flexibility",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Partial,
+        kernel_path: Trait3::Partial,
+        user_path: Trait3::No,
+    },
+    VswitchDesign {
+        name: "Google Andromeda",
+        year: 2018,
+        emphasis: "Flexibility and performance",
+        monolithic: Trait3::Yes,
+        colocated: Trait3::Partial,
+        kernel_path: Trait3::No,
+        user_path: Trait3::Partial,
+    },
 ];
 
 /// Fraction of surveyed designs that are monolithic.

@@ -16,10 +16,11 @@ use crate::runtime::{nic_rx, vswitch_rx, wire_inject, Sim, World};
 use mts_apps::{App, AppCtx, ConnId};
 use mts_net::{Frame, Ipv4Packet, MacAddr, Payload, TcpFlags, TcpSegment, Transport};
 use mts_nic::{NicPort, PfId, VfId};
-use mts_sim::{CoreId, DetRng, Dur, Histogram};
 #[cfg(test)]
 use mts_sim::Time;
+use mts_sim::{CoreId, DetRng, Dur, Histogram};
 use mts_tcp::{Connection, Output, TcpConfig};
+use mts_telemetry::DropCause;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -234,7 +235,8 @@ pub fn host_start(w: &mut World, e: &mut Sim, h: usize) {
 pub fn host_rx(w: &mut World, e: &mut Sim, h: usize, frame: Frame) {
     let now = e.now();
     let Some(host) = w.hosts.get_mut(h) else {
-        w.drop_frame("no-such-host");
+        let fid = frame.id;
+        w.drop_frame_traced(now, fid, DropCause::NoSuchHost);
         return;
     };
     // Charge the per-segment receive cost (GRO-amortized for bulk data),
@@ -243,11 +245,11 @@ pub fn host_rx(w: &mut World, e: &mut Sim, h: usize, frame: Frame) {
         Some(cores) => {
             let core = cores[(frame.flow_hash() % 2) as usize];
             let cost = host.per_segment / crate::runtime::tso_factor(&frame);
-            let grant = w
-                .cores
-                .get_mut(core)
-                .expect("host core exists")
-                .acquire(now, 0x3000 + h as u64, cost);
+            let grant = w.cores.get_mut(core).expect("host core exists").acquire(
+                now,
+                0x3000 + h as u64,
+                cost,
+            );
             e.schedule_at(grant.end, move |w, e| host_exec(w, e, h, frame));
         }
         None => host_exec(w, e, h, frame),
@@ -296,7 +298,8 @@ fn host_exec(w: &mut World, e: &mut Sim, h: usize, frame: Frame) {
             return;
         };
         if ip.dst != host.ip {
-            w.drop_frame("host-misaddressed");
+            let fid = frame.id;
+            w.drop_frame_traced(e.now(), fid, DropCause::HostMisaddressed);
             return;
         }
         let Transport::Tcp(seg) = ip.transport else {
@@ -615,12 +618,14 @@ fn dispatch_frame(w: &mut World, e: &mut Sim, attach: HostAttach, frame: Frame) 
         HostAttach::Vhost(tenant, side) => {
             let arr = e.now() + w.cfg.host_notify;
             e.schedule_at(arr, move |w, e| {
-                let found = w.vswitches.iter().enumerate().find_map(|(i, vs)| {
-                    vs.inst.vhost.get(&(tenant, side)).map(|p| (i, *p))
-                });
+                let found = w
+                    .vswitches
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, vs)| vs.inst.vhost.get(&(tenant, side)).map(|p| (i, *p)));
                 match found {
                     Some((i, port)) => vswitch_rx(w, e, i, port, frame, true),
-                    None => w.drop_frame("vhost-unrouted"),
+                    None => w.drop_frame_traced(e.now(), frame.id, DropCause::VhostUnrouted),
                 }
             });
         }
@@ -713,8 +718,10 @@ pub fn add_tenant_server(
     w.tenants[tenant as usize].kind = crate::runtime::TenantKind::Endpoint(h);
     // Claim the tenant's VF for this endpoint (MTS).
     if let HostAttach::Vf(pf, vf) = attach {
-        w.vf_owner
-            .insert((pf.0, vf.0), crate::runtime::Owner::Tenant(tenant as usize, 0));
+        w.vf_owner.insert(
+            (pf.0, vf.0),
+            crate::runtime::Owner::Tenant(tenant as usize, 0),
+        );
     }
     h
 }
@@ -752,6 +759,56 @@ pub fn add_lg_client(
 /// Wires the v2v forwarder attachment: in workload v2v mode the forwarder
 /// tenant keeps its l2fwd role, but its next hop is the *server* path.
 pub fn dummy() {}
+
+/// Snapshots every host's TCP connection statistics into the telemetry
+/// metrics registry (labelled by `host` name). Connection stats are
+/// cumulative, so the values are exported as last-write-wins gauges —
+/// calling this more than once simply refreshes the snapshot.
+pub fn export_tcp_metrics(w: &mut World) {
+    let snapshots: Vec<(String, u64, mts_tcp::ConnStats)> = w
+        .hosts
+        .iter()
+        .map(|host| {
+            let mut agg = mts_tcp::ConnStats::default();
+            for c in host.conns.values() {
+                let s = c.conn.stats();
+                agg.retransmits += s.retransmits;
+                agg.timeouts += s.timeouts;
+                agg.fast_retransmits += s.fast_retransmits;
+                agg.bytes_acked += s.bytes_acked;
+                agg.bytes_delivered += s.bytes_delivered;
+                agg.dup_acks += s.dup_acks;
+                agg.ooo_segments += s.ooo_segments;
+            }
+            (host.name.clone(), host.conns.len() as u64, agg)
+        })
+        .collect();
+    let Some(rec) = w.telemetry.rec() else {
+        return;
+    };
+    for (name, conns, s) in snapshots {
+        let labels: &[(&str, &str)] = &[("host", &name)];
+        rec.metrics
+            .gauge_set("mts_tcp_connections", labels, conns as f64);
+        rec.metrics
+            .gauge_set("mts_tcp_retransmits", labels, s.retransmits as f64);
+        rec.metrics
+            .gauge_set("mts_tcp_timeouts", labels, s.timeouts as f64);
+        rec.metrics.gauge_set(
+            "mts_tcp_fast_retransmits",
+            labels,
+            s.fast_retransmits as f64,
+        );
+        rec.metrics
+            .gauge_set("mts_tcp_bytes_acked", labels, s.bytes_acked as f64);
+        rec.metrics
+            .gauge_set("mts_tcp_bytes_delivered", labels, s.bytes_delivered as f64);
+        rec.metrics
+            .gauge_set("mts_tcp_dup_acks", labels, s.dup_acks as f64);
+        rec.metrics
+            .gauge_set("mts_tcp_ooo_segments", labels, s.ooo_segments as f64);
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -804,7 +861,11 @@ mod tests {
         e.run_until(&mut w, Time::from_nanos(50_000_000)); // 50 ms
         let server = &w.hosts[0];
         let bytes = server.counter("iperf_bytes");
-        assert!(bytes > 100_000, "iperf moved only {bytes} bytes; drops {:?}", w.drops);
+        assert!(
+            bytes > 100_000,
+            "iperf moved only {bytes} bytes; drops {:?}",
+            w.drops
+        );
         // Goodput within 10G: bytes in 50 ms.
         let gbps = bytes as f64 * 8.0 / 0.05 / 1e9;
         assert!(gbps < 10.5, "goodput {gbps} exceeds the link");

@@ -147,7 +147,11 @@ impl Testbed {
             received: w.sink.received,
             latency: w.sink.latency.summary(),
             per_flow: w.sink.per_flow.clone(),
-            drops: w.drops.clone(),
+            drops: w
+                .drops
+                .iter()
+                .map(|(k, v)| (k.as_str().to_string(), *v))
+                .collect(),
             cores: totals.cores,
             hugepages: totals.hugepages,
         })
@@ -155,11 +159,7 @@ impl Testbed {
 
     /// Runs the same experiment across `seeds`, merging latency samples
     /// and averaging throughput — the paper's repeated-runs methodology.
-    pub fn run_repeated(
-        &self,
-        opts: RunOpts,
-        seeds: &[u64],
-    ) -> Result<Measurement, DeployError> {
+    pub fn run_repeated(&self, opts: RunOpts, seeds: &[u64]) -> Result<Measurement, DeployError> {
         let mut merged: Option<Measurement> = None;
         let mut tputs = Vec::new();
         for &seed in seeds {
@@ -198,7 +198,12 @@ pub fn fig5_matrix(
     match mode {
         ResourceMode::Shared => {
             out.push(DeploymentSpec::baseline(datapath, mode, 1, scenario));
-            out.push(DeploymentSpec::mts(SecurityLevel::Level1, datapath, mode, scenario));
+            out.push(DeploymentSpec::mts(
+                SecurityLevel::Level1,
+                datapath,
+                mode,
+                scenario,
+            ));
             out.push(DeploymentSpec::mts(
                 SecurityLevel::Level2 { compartments: 2 },
                 datapath,
@@ -216,7 +221,12 @@ pub fn fig5_matrix(
             for cores in [1u8, 2, 4] {
                 out.push(DeploymentSpec::baseline(datapath, mode, cores, scenario));
             }
-            out.push(DeploymentSpec::mts(SecurityLevel::Level1, datapath, mode, scenario));
+            out.push(DeploymentSpec::mts(
+                SecurityLevel::Level1,
+                datapath,
+                mode,
+                scenario,
+            ));
             out.push(DeploymentSpec::mts(
                 SecurityLevel::Level2 { compartments: 2 },
                 datapath,
@@ -306,6 +316,8 @@ mod tests {
         assert_eq!(iso.len(), 6);
         // v2v excludes L2-4.
         let v2v = fig5_matrix(ResourceMode::Isolated, DatapathKind::Kernel, Scenario::V2v);
-        assert!(v2v.iter().all(|s| s.compartments() != 4 || s.level == SecurityLevel::Baseline));
+        assert!(v2v
+            .iter()
+            .all(|s| s.compartments() != 4 || s.level == SecurityLevel::Baseline));
     }
 }

@@ -133,10 +133,7 @@ impl AddressPlan {
         let mut alloc = |port: u8| {
             let vf = VfId(next_vf[port as usize]);
             next_vf[port as usize] += 1;
-            VfRef {
-                pf: PfId(port),
-                vf,
-            }
+            VfRef { pf: PfId(port), vf }
         };
 
         let compartmentalized = spec.level.compartmentalized();
@@ -228,11 +225,7 @@ impl AddressPlan {
             n += c.in_out.len() as u32 + c.gw.len() as u32;
         }
         if !self.compartments.is_empty() {
-            n += self
-                .tenants
-                .iter()
-                .map(|t| t.vf.len() as u32)
-                .sum::<u32>();
+            n += self.tenants.iter().map(|t| t.vf.len() as u32).sum::<u32>();
         }
         n
     }
@@ -280,7 +273,10 @@ mod tests {
 
     #[test]
     fn baseline_needs_no_vfs() {
-        assert_eq!(VfBudget::for_level(SecurityLevel::Baseline, 4, 2).total(), 0);
+        assert_eq!(
+            VfBudget::for_level(SecurityLevel::Baseline, 4, 2).total(),
+            0
+        );
     }
 
     #[test]

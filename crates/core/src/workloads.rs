@@ -239,7 +239,11 @@ pub fn run_workload(
         latency: latency.summary(),
         per_tenant,
         ci95: 0.0,
-        drops: w.drops.clone(),
+        drops: w
+            .drops
+            .iter()
+            .map(|(k, v)| (k.as_str().to_string(), *v))
+            .collect(),
     })
 }
 
@@ -297,7 +301,12 @@ mod tests {
     }
 
     fn spec(level: SecurityLevel, scenario: Scenario) -> DeploymentSpec {
-        DeploymentSpec::mts(level, DatapathKind::Kernel, ResourceMode::Isolated, scenario)
+        DeploymentSpec::mts(
+            level,
+            DatapathKind::Kernel,
+            ResourceMode::Isolated,
+            scenario,
+        )
     }
 
     #[test]
@@ -352,12 +361,8 @@ mod tests {
 
     #[test]
     fn baseline_workload_runs() {
-        let s = DeploymentSpec::baseline(
-            DatapathKind::Kernel,
-            ResourceMode::Shared,
-            1,
-            Scenario::P2v,
-        );
+        let s =
+            DeploymentSpec::baseline(DatapathKind::Kernel, ResourceMode::Shared, 1, Scenario::P2v);
         let r = run_workload(s, Workload::Iperf, quick_opts()).unwrap();
         assert!(r.throughput > 0.05, "aggregate {} Gbit/s", r.throughput);
     }

@@ -102,7 +102,7 @@ mod tests {
         let c = MacAddr::local(9);
         b.forward(0, &frame(a, c)); // learn a -> port 0
         b.forward(1, &frame(c, a)); // learn c -> port 1
-        // A frame entering port 1 destined to c (also on port 1): suppressed.
+                                    // A frame entering port 1 destined to c (also on port 1): suppressed.
         assert_eq!(b.forward(1, &frame(a, c)), Vec::<u32>::new());
     }
 

@@ -70,9 +70,7 @@ impl PinningPlan {
                 }
                 v
             }
-            (ResourceMode::Isolated, false) => {
-                (0..compartments.max(1)).map(|_| alloc()).collect()
-            }
+            (ResourceMode::Isolated, false) => (0..compartments.max(1)).map(|_| alloc()).collect(),
         };
         let tenant_cores: Vec<[CoreId; 2]> = (0..tenants).map(|_| [alloc(), alloc()]).collect();
         PinningPlan {

@@ -144,7 +144,10 @@ mod tests {
         // At 1 Mpps bursts fill in 128us per queue, under the drain.
         assert_eq!(d.batching_latency(1_000_000.0), Dur::ZERO);
         // A single PMD queue never starves.
-        assert_eq!(VhostCosts::dpdk_user(1).batching_latency(10_000.0), Dur::ZERO);
+        assert_eq!(
+            VhostCosts::dpdk_user(1).batching_latency(10_000.0),
+            Dur::ZERO
+        );
     }
 
     #[test]

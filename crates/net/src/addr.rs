@@ -155,7 +155,10 @@ mod tests {
     fn local_is_deterministic_and_distinct() {
         assert_eq!(MacAddr::local(1), MacAddr::local(1));
         assert_ne!(MacAddr::local(1), MacAddr::local(2));
-        assert_eq!(MacAddr::local(0x01020304).octets(), [0x52, 0x54, 1, 2, 3, 4]);
+        assert_eq!(
+            MacAddr::local(0x01020304).octets(),
+            [0x52, 0x54, 1, 2, 3, 4]
+        );
     }
 
     #[test]

@@ -65,7 +65,12 @@ mod tests {
 
     #[test]
     fn pseudo_header_mixes_all_fields() {
-        let a = pseudo_header(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 17, 8);
+        let a = pseudo_header(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            17,
+            8,
+        );
         let b = pseudo_header(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 6, 8);
         assert_ne!(finish(a), finish(b));
     }

@@ -132,7 +132,11 @@ impl Frame {
     /// Total bytes on the wire including Ethernet header, any VLAN tag,
     /// payload, padding and FCS — never less than the 64 B minimum.
     pub fn wire_len(&self) -> u32 {
-        let tag = if self.vlan.is_some() { sizes::VLAN_TAG } else { 0 };
+        let tag = if self.vlan.is_some() {
+            sizes::VLAN_TAG
+        } else {
+            0
+        };
         (sizes::ETH_HEADER + tag + self.payload_len() + sizes::FCS).max(sizes::MIN_FRAME)
     }
 
@@ -318,15 +322,36 @@ mod tests {
     #[test]
     fn ids_are_unique() {
         let (a, b) = two_macs();
-        let f1 = Frame::new(a, b, Payload::Raw { ethertype: 0x88b5, len: 46 });
-        let f2 = Frame::new(a, b, Payload::Raw { ethertype: 0x88b5, len: 46 });
+        let f1 = Frame::new(
+            a,
+            b,
+            Payload::Raw {
+                ethertype: 0x88b5,
+                len: 46,
+            },
+        );
+        let f2 = Frame::new(
+            a,
+            b,
+            Payload::Raw {
+                ethertype: 0x88b5,
+                len: 46,
+            },
+        );
         assert_ne!(f1.id, f2.id);
     }
 
     #[test]
     fn min_frame_is_64_bytes() {
         let (a, b) = two_macs();
-        let f = Frame::new(a, b, Payload::Raw { ethertype: 0x88b5, len: 1 });
+        let f = Frame::new(
+            a,
+            b,
+            Payload::Raw {
+                ethertype: 0x88b5,
+                len: 1,
+            },
+        );
         assert_eq!(f.wire_len(), 64);
     }
 
@@ -344,7 +369,15 @@ mod tests {
     #[test]
     fn vlan_tag_grows_the_frame() {
         let (a, b) = two_macs();
-        let f = Frame::udp_probe(a, b, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 7, 0, 512);
+        let f = Frame::udp_probe(
+            a,
+            b,
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            7,
+            0,
+            512,
+        );
         let tagged = f.clone().with_vlan(100);
         assert_eq!(tagged.wire_len(), f.wire_len() + 4);
         assert_eq!(tagged.vlan.unwrap().vid, 100);
@@ -384,10 +417,25 @@ mod tests {
     #[test]
     fn accessors_only_fire_for_ipv4() {
         let (a, b) = two_macs();
-        let raw = Frame::new(a, b, Payload::Raw { ethertype: 0x88b5, len: 60 });
+        let raw = Frame::new(
+            a,
+            b,
+            Payload::Raw {
+                ethertype: 0x88b5,
+                len: 60,
+            },
+        );
         assert!(raw.ipv4().is_none());
         assert!(raw.dst_ip().is_none());
-        let u = Frame::udp_data(a, b, Ipv4Addr::new(1, 0, 0, 1), Ipv4Addr::new(1, 0, 0, 2), 1, 2, 3);
+        let u = Frame::udp_data(
+            a,
+            b,
+            Ipv4Addr::new(1, 0, 0, 1),
+            Ipv4Addr::new(1, 0, 0, 2),
+            1,
+            2,
+            3,
+        );
         assert_eq!(u.dst_ip(), Some(Ipv4Addr::new(1, 0, 0, 2)));
         assert_eq!(u.src_ip(), Some(Ipv4Addr::new(1, 0, 0, 1)));
     }
@@ -395,8 +443,16 @@ mod tests {
     #[test]
     fn stamping_sets_origin() {
         let (a, b) = two_macs();
-        let f = Frame::udp_data(a, b, Ipv4Addr::new(1, 0, 0, 1), Ipv4Addr::new(1, 0, 0, 2), 1, 2, 3)
-            .stamped(12345);
+        let f = Frame::udp_data(
+            a,
+            b,
+            Ipv4Addr::new(1, 0, 0, 1),
+            Ipv4Addr::new(1, 0, 0, 2),
+            1,
+            2,
+            3,
+        )
+        .stamped(12345);
         assert_eq!(f.origin_ns, 12345);
     }
 }

@@ -250,7 +250,6 @@ bitflags_lite! {
     }
 }
 
-
 /// A TCP segment; data is modelled as a length.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TcpSegment {
@@ -322,7 +321,11 @@ mod tests {
     #[test]
     fn probe_payload_reserves_sequence_bytes() {
         let p = UdpPayload::Probe { seq: 1, len: 4 };
-        assert_eq!(p.len(), 8, "probe payload can never be shorter than its seq");
+        assert_eq!(
+            p.len(),
+            8,
+            "probe payload can never be shorter than its seq"
+        );
         let p = UdpPayload::Probe { seq: 1, len: 26 };
         assert_eq!(p.len(), 26);
     }

@@ -58,7 +58,11 @@ pub fn crc32(data: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             table[i] = c;
@@ -418,7 +422,7 @@ mod tests {
     fn parse_rejects_corrupted_ip_header() {
         let mut bytes = serialize(&probe());
         bytes[22] ^= 0x55; // inside the IPv4 header
-        // Recompute the FCS so only the IP checksum is wrong.
+                           // Recompute the FCS so only the IP checksum is wrong.
         let body_len = bytes.len() - 4;
         let fcs = crc32(&bytes[..body_len]);
         bytes[body_len..].copy_from_slice(&fcs.to_le_bytes());

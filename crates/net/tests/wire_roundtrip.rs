@@ -75,12 +75,10 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     })
                 }
             ),
-            (arb_mac(), arb_ip(), arb_ip(), any::<bool>()).prop_map(
-                |(mac, sip, tip, is_req)| {
-                    let base = ArpPacket::request(mac, sip, tip);
-                    Payload::Arp(if is_req { base } else { base.reply_to(mac) })
-                }
-            ),
+            (arb_mac(), arb_ip(), arb_ip(), any::<bool>()).prop_map(|(mac, sip, tip, is_req)| {
+                let base = ArpPacket::request(mac, sip, tip);
+                Payload::Arp(if is_req { base } else { base.reply_to(mac) })
+            }),
         ],
     )
         .prop_map(|(src, dst, vlan, payload)| {

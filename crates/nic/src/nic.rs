@@ -107,7 +107,9 @@ impl SriovNic {
 
     /// Returns a PF's embedded switch mutably.
     pub fn pf_mut(&mut self, pf: PfId) -> Result<&mut PfSwitch, NicError> {
-        self.pfs.get_mut(pf.0 as usize).ok_or(NicError::NoSuchPf(pf))
+        self.pfs
+            .get_mut(pf.0 as usize)
+            .ok_or(NicError::NoSuchPf(pf))
     }
 
     /// Host-privileged: creates (or reconfigures) a VF.
@@ -277,7 +279,11 @@ mod tests {
         let mut nic = SriovNic::new(2, NicModel::default());
         assert!(matches!(nic.pf(PfId(2)), Err(NicError::NoSuchPf(_))));
         assert!(nic
-            .create_vf(PfId(5), VfId(0), VfConfig::infrastructure(MacAddr::local(1)))
+            .create_vf(
+                PfId(5),
+                VfId(0),
+                VfConfig::infrastructure(MacAddr::local(1))
+            )
             .is_err());
         assert!(nic.pf(PfId(1)).is_ok());
     }
@@ -286,13 +292,16 @@ mod tests {
     fn duplicate_mac_in_same_vlan_rejected() {
         let mut nic = SriovNic::new(1, NicModel::default());
         let mac = MacAddr::local(7);
-        nic.create_vf(PfId(0), VfId(0), VfConfig::tenant(mac, 1)).unwrap();
+        nic.create_vf(PfId(0), VfId(0), VfConfig::tenant(mac, 1))
+            .unwrap();
         let err = nic.create_vf(PfId(0), VfId(1), VfConfig::tenant(mac, 1));
         assert_eq!(err, Err(NicError::DuplicateMac(mac)));
         // Same MAC in a different VLAN is allowed (distinct forwarding key).
-        nic.create_vf(PfId(0), VfId(1), VfConfig::tenant(mac, 2)).unwrap();
+        nic.create_vf(PfId(0), VfId(1), VfConfig::tenant(mac, 2))
+            .unwrap();
         // Reconfiguring the same VF with its own MAC is allowed.
-        nic.create_vf(PfId(0), VfId(0), VfConfig::tenant(mac, 1)).unwrap();
+        nic.create_vf(PfId(0), VfId(0), VfConfig::tenant(mac, 1))
+            .unwrap();
     }
 
     #[test]
@@ -304,10 +313,15 @@ mod tests {
         assert!(matches!(err, Err(NicError::NotTrusted(_, _))));
         // Host grants trust; the VM may then re-address.
         let cfg = nic.pf(PfId(0)).unwrap().vf(VfId(0)).cloned().unwrap();
-        nic.pf_mut(PfId(0))
-            .unwrap()
-            .configure_vf(VfId(0), VfConfig { trusted: true, ..cfg });
-        nic.vm_set_vf_mac(PfId(0), VfId(0), MacAddr::local(99)).unwrap();
+        nic.pf_mut(PfId(0)).unwrap().configure_vf(
+            VfId(0),
+            VfConfig {
+                trusted: true,
+                ..cfg
+            },
+        );
+        nic.vm_set_vf_mac(PfId(0), VfId(0), MacAddr::local(99))
+            .unwrap();
         assert_eq!(
             nic.pf(PfId(0)).unwrap().vf(VfId(0)).unwrap().mac,
             MacAddr::local(99)
@@ -361,8 +375,10 @@ mod tests {
         let mut nic = SriovNic::new(2, NicModel::default());
         let a = MacAddr::local(1);
         let b = MacAddr::local(2);
-        nic.create_vf(PfId(0), VfId(0), VfConfig::infrastructure(a)).unwrap();
-        nic.create_vf(PfId(1), VfId(0), VfConfig::infrastructure(b)).unwrap();
+        nic.create_vf(PfId(0), VfId(0), VfConfig::infrastructure(a))
+            .unwrap();
+        nic.create_vf(PfId(1), VfId(0), VfConfig::infrastructure(b))
+            .unwrap();
         nic.ingress(PfId(0), NicPort::Wire, frame(MacAddr::local(9), a))
             .unwrap();
         nic.ingress(PfId(1), NicPort::Wire, frame(MacAddr::local(9), b))

@@ -123,7 +123,8 @@ impl PfSwitch {
     /// Removes a VF and its static MAC entry.
     pub fn remove_vf(&mut self, id: VfId) -> Option<VfConfig> {
         let cfg = self.vfs.remove(&id)?;
-        self.table.remove(&(cfg.vlan.unwrap_or(0), cfg.mac.as_u64()));
+        self.table
+            .remove(&(cfg.vlan.unwrap_or(0), cfg.mac.as_u64()));
         // Also purge any entries learned towards the VF.
         self.table.retain(|_, e| e.port() != NicPort::Vf(id));
         Some(cfg)
@@ -436,10 +437,7 @@ mod tests {
                 VfConfig::infrastructure(MacAddr::local(i as u32))
             ));
         }
-        assert!(!sw.configure_vf(
-            VfId(64),
-            VfConfig::infrastructure(MacAddr::local(1000))
-        ));
+        assert!(!sw.configure_vf(VfId(64), VfConfig::infrastructure(MacAddr::local(1000))));
         assert_eq!(sw.vf_count(), MAX_VFS_PER_PF);
     }
 

@@ -72,7 +72,11 @@ impl CpuCore {
     ///
     /// Factors below 1.0 are clamped to 1.0.
     pub fn set_overhead(&mut self, factor: f64) {
-        self.overhead = if factor.is_finite() { factor.max(1.0) } else { 1.0 };
+        self.overhead = if factor.is_finite() {
+            factor.max(1.0)
+        } else {
+            1.0
+        };
     }
 
     /// Returns this core's identifier.
@@ -151,7 +155,9 @@ impl CorePool {
     /// Creates a pool of `n` idle cores with a shared context-switch penalty.
     pub fn new(n: u32, ctx_switch: Dur) -> Self {
         CorePool {
-            cores: (0..n).map(|i| CpuCore::new(CoreId(i), ctx_switch)).collect(),
+            cores: (0..n)
+                .map(|i| CpuCore::new(CoreId(i), ctx_switch))
+                .collect(),
         }
     }
 
@@ -263,7 +269,9 @@ mod tests {
         assert_eq!(id, CoreId(2));
         assert!(p.get(CoreId(2)).is_some());
         assert!(p.get(CoreId(3)).is_none());
-        p.get_mut(CoreId(0)).unwrap().acquire(Time::ZERO, 1, Dur::nanos(5));
+        p.get_mut(CoreId(0))
+            .unwrap()
+            .acquire(Time::ZERO, 1, Dur::nanos(5));
         assert_eq!(p.busy_total(), Dur::nanos(5));
     }
 }

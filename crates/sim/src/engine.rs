@@ -10,11 +10,14 @@ use crate::time::{Dur, Time};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// The boxed closure form every scheduled event is stored as.
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
 /// A scheduled event: a closure plus its firing time and tie-break sequence.
 struct Scheduled<W> {
     at: Time,
     seq: u64,
-    run: Box<dyn FnOnce(&mut W, &mut Engine<W>)>,
+    run: EventFn<W>,
 }
 
 impl<W> PartialEq for Scheduled<W> {
@@ -199,13 +202,16 @@ mod tests {
     fn past_events_are_clamped_to_now() {
         let mut e: Engine<Vec<u64>> = Engine::new();
         let mut w = Vec::new();
-        e.schedule_at(Time::from_nanos(100), |w: &mut Vec<u64>, e: &mut Engine<Vec<u64>>| {
-            // Scheduling "in the past" must not rewind the clock.
-            e.schedule_at(Time::from_nanos(1), |w: &mut Vec<u64>, e| {
-                w.push(e.now().as_nanos())
-            });
-            w.push(e.now().as_nanos());
-        });
+        e.schedule_at(
+            Time::from_nanos(100),
+            |w: &mut Vec<u64>, e: &mut Engine<Vec<u64>>| {
+                // Scheduling "in the past" must not rewind the clock.
+                e.schedule_at(Time::from_nanos(1), |w: &mut Vec<u64>, e| {
+                    w.push(e.now().as_nanos())
+                });
+                w.push(e.now().as_nanos());
+            },
+        );
         e.run(&mut w);
         assert_eq!(w, vec![100, 100]);
     }

@@ -190,8 +190,14 @@ mod tests {
     #[test]
     fn server_rate_limits() {
         let mut s = Server::new(1_000_000, Dur::MAX); // 1 Mops => 1us each
-        assert_eq!(s.offer(Time::ZERO), ServerDecision::Done(Time::from_nanos(1_000)));
-        assert_eq!(s.offer(Time::ZERO), ServerDecision::Done(Time::from_nanos(2_000)));
+        assert_eq!(
+            s.offer(Time::ZERO),
+            ServerDecision::Done(Time::from_nanos(1_000))
+        );
+        assert_eq!(
+            s.offer(Time::ZERO),
+            ServerDecision::Done(Time::from_nanos(2_000))
+        );
         assert_eq!(s.served(), 2);
     }
 

@@ -309,10 +309,7 @@ mod tests {
                 let v = (1u64 << shift) + off * ((1u64 << shift) / 64).max(1);
                 let low = Histogram::bucket_low(Histogram::bucket_of(v));
                 assert!(low <= v, "low {low} > v {v}");
-                assert!(
-                    (v - low) as f64 <= v as f64 / 32.0 + 1.0,
-                    "v={v} low={low}"
-                );
+                assert!((v - low) as f64 <= v as f64 / 32.0 + 1.0, "v={v} low={low}");
             }
         }
     }

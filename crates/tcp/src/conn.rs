@@ -393,7 +393,8 @@ impl Connection {
             self.dupacks = 0;
             self.rto_backoff = 0;
             // Payload-byte accounting (exclude SYN/FIN sequence slots).
-            self.stats.bytes_acked += payload_within(self.snd_una - newly, self.snd_una, self.app_total);
+            self.stats.bytes_acked +=
+                payload_within(self.snd_una - newly, self.snd_una, self.app_total);
             // RTT sample (Karn-protected).
             if let Some((probe_off, sent_at)) = self.rtt_probe {
                 if ack_off >= probe_off {

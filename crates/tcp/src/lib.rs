@@ -23,4 +23,4 @@ pub mod config;
 pub mod conn;
 
 pub use config::TcpConfig;
-pub use conn::{Connection, Output, State};
+pub use conn::{ConnStats, Connection, Output, State};

@@ -50,8 +50,8 @@ fn run_transfer(bytes: u64, loss_permille: u16, seed: u64, delay_us: u64) -> (u6
     // Handshake over a lossless prefix so the connection always opens (the
     // property under test is data transfer, not SYN retry behaviour).
     let (mut client, out) = Connection::client(cfg, 40_000, 80, 7, now);
-    let (mut server, sout) = Connection::server_from_syn(cfg, &out.segments[0], 99, now)
-        .expect("syn accepted");
+    let (mut server, sout) =
+        Connection::server_from_syn(cfg, &out.segments[0], 99, now).expect("syn accepted");
     let ack = client.on_segment(&sout.segments[0], now);
     let _ = server.on_segment(&ack.segments[0], now);
 

@@ -1,0 +1,359 @@
+//! The complete-mediation auditor.
+//!
+//! MTS's security argument (paper §4) is that *every* frame crossing a
+//! tenant boundary is mediated by a vswitch — tenants must never talk
+//! directly to each other or to the wire, even though they own SR-IOV
+//! VFs. The auditor turns that property into a machine-checkable
+//! predicate over recorded [`Journey`]s:
+//!
+//! For every delivered segment (origin endpoint → delivery endpoint)
+//! where at least one side is a tenant VM, the segment must contain at
+//! least one [`Hop::VswitchForward`] (a vswitch made the forwarding
+//! decision), and — for SR-IOV deployments — at least one
+//! [`Hop::NicSwitch`] (the embedded switch carried it, i.e. the frame
+//! could not have bypassed the NIC). A frame the embedded switch
+//! hairpins directly from one tenant VF to another is the canonical
+//! violation: it was "forwarded" but never mediated.
+//!
+//! Dropped frames are not violations — mediation is about what gets
+//! *delivered*.
+
+use crate::journey::{Hop, Journey, JourneyLog, NicEndpoint};
+
+/// One mediation failure.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MediationViolation {
+    pub frame: u64,
+    pub reason: String,
+}
+
+/// Outcome of auditing a journey log.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MediationReport {
+    /// Segments that involved a tenant endpoint and were checked.
+    pub checked: usize,
+    /// Segments skipped because no tenant endpoint was involved.
+    pub skipped: usize,
+    pub violations: Vec<MediationViolation>,
+}
+
+impl MediationReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Auditor configuration. Use [`MediationAuditor::sriov`] for MTS
+/// Levels 1–3 (tenants on VFs, so the embedded switch must appear in
+/// every mediated path); [`MediationAuditor::new`] only requires the
+/// vswitch hop and also fits the vhost-based Baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MediationAuditor {
+    /// Additionally require a `NicSwitch` hop in each checked segment.
+    pub require_embedded_switch: bool,
+}
+
+impl MediationAuditor {
+    pub fn new() -> Self {
+        MediationAuditor {
+            require_embedded_switch: false,
+        }
+    }
+
+    /// Strict variant for SR-IOV deployments (MTS Levels 1–3).
+    pub fn sriov() -> Self {
+        MediationAuditor {
+            require_embedded_switch: true,
+        }
+    }
+
+    /// Audit every journey in `log`.
+    pub fn audit(&self, log: &JourneyLog) -> MediationReport {
+        let mut report = MediationReport::default();
+        for j in log.iter() {
+            self.audit_journey(j, &mut report);
+        }
+        report
+    }
+
+    /// Audit one journey, accumulating into `report`.
+    pub fn audit_journey(&self, j: &Journey, report: &mut MediationReport) {
+        // Segment state since the last origin endpoint.
+        let mut origin: Option<Endpoint> = None;
+        let mut saw_vswitch = false;
+        let mut saw_nic_switch = false;
+
+        for rec in &j.hops {
+            match &rec.hop {
+                Hop::TenantTx { tenant, .. } => {
+                    origin = Some(Endpoint::Tenant(*tenant));
+                    saw_vswitch = false;
+                    saw_nic_switch = false;
+                }
+                Hop::WireIngress { .. } => {
+                    origin = Some(Endpoint::Wire);
+                    saw_vswitch = false;
+                    saw_nic_switch = false;
+                }
+                Hop::NicSwitch { from, to, .. } => {
+                    saw_nic_switch = true;
+                    // A direct tenant-VF → tenant-VF forward is a
+                    // violation regardless of segment bookkeeping: the
+                    // embedded switch itself bridged two tenants.
+                    if let (
+                        NicEndpoint::TenantVf { tenant: a },
+                        NicEndpoint::TenantVf { tenant: b },
+                    ) = (from, to)
+                    {
+                        report.violations.push(MediationViolation {
+                            frame: j.frame,
+                            reason: format!(
+                                "embedded switch forwarded tenant {a} VF directly to \
+                                 tenant {b} VF without vswitch mediation"
+                            ),
+                        });
+                    }
+                }
+                Hop::VswitchRecv { .. } | Hop::VswitchForward { .. } => {
+                    saw_vswitch = true;
+                }
+                Hop::TenantRx { tenant, .. } => {
+                    self.check_segment(
+                        j.frame,
+                        origin,
+                        Endpoint::Tenant(*tenant),
+                        saw_vswitch,
+                        saw_nic_switch,
+                        report,
+                    );
+                    origin = None;
+                }
+                Hop::WireEgress { .. } => {
+                    self.check_segment(
+                        j.frame,
+                        origin,
+                        Endpoint::Wire,
+                        saw_vswitch,
+                        saw_nic_switch,
+                        report,
+                    );
+                    origin = None;
+                }
+                Hop::Drop { .. } => {
+                    // Discarded, never delivered: no mediation question.
+                    origin = None;
+                }
+            }
+        }
+    }
+
+    fn check_segment(
+        &self,
+        frame: u64,
+        origin: Option<Endpoint>,
+        dest: Endpoint,
+        saw_vswitch: bool,
+        saw_nic_switch: bool,
+        report: &mut MediationReport,
+    ) {
+        let origin = match origin {
+            Some(o) => o,
+            // Delivery without a recorded origin (partial journey):
+            // nothing sound to check.
+            None => return,
+        };
+        let involves_tenant =
+            matches!(origin, Endpoint::Tenant(_)) || matches!(dest, Endpoint::Tenant(_));
+        if !involves_tenant {
+            report.skipped += 1;
+            return;
+        }
+        report.checked += 1;
+        if !saw_vswitch {
+            report.violations.push(MediationViolation {
+                frame,
+                reason: format!(
+                    "frame delivered {} -> {} without traversing any vswitch",
+                    origin.label(),
+                    dest.label()
+                ),
+            });
+        } else if self.require_embedded_switch && !saw_nic_switch {
+            report.violations.push(MediationViolation {
+                frame,
+                reason: format!(
+                    "frame delivered {} -> {} without traversing the NIC embedded \
+                     switch (expected for an SR-IOV deployment)",
+                    origin.label(),
+                    dest.label()
+                ),
+            });
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Endpoint {
+    Wire,
+    Tenant(u8),
+}
+
+impl Endpoint {
+    fn label(self) -> String {
+        match self {
+            Endpoint::Wire => "wire".to_string(),
+            Endpoint::Tenant(t) => format!("tenant {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mts_sim::Time;
+
+    fn t(ns: u64) -> Time {
+        Time::from_nanos(ns)
+    }
+
+    /// A properly mediated tenant→tenant path (MTS v2v).
+    fn mediated_v2v(log: &mut JourneyLog, frame: u64) {
+        log.record(frame, t(0), Hop::TenantTx { tenant: 0, side: 0 });
+        log.record(
+            frame,
+            t(10),
+            Hop::NicSwitch {
+                pf: 0,
+                from: NicEndpoint::TenantVf { tenant: 0 },
+                to: NicEndpoint::VswitchVf { vswitch: 0 },
+                hairpin: true,
+            },
+        );
+        log.record(
+            frame,
+            t(20),
+            Hop::VswitchRecv {
+                vswitch: 0,
+                port: 1,
+            },
+        );
+        log.record(
+            frame,
+            t(30),
+            Hop::VswitchForward {
+                vswitch: 0,
+                cache_hit: true,
+                outputs: 1,
+            },
+        );
+        log.record(
+            frame,
+            t(40),
+            Hop::NicSwitch {
+                pf: 0,
+                from: NicEndpoint::VswitchVf { vswitch: 0 },
+                to: NicEndpoint::TenantVf { tenant: 1 },
+                hairpin: true,
+            },
+        );
+        log.record(frame, t(50), Hop::TenantRx { tenant: 1, side: 0 });
+    }
+
+    #[test]
+    fn mediated_path_passes_strict_audit() {
+        let mut log = JourneyLog::new();
+        mediated_v2v(&mut log, 1);
+        let report = MediationAuditor::sriov().audit(&log);
+        assert!(
+            report.ok(),
+            "unexpected violations: {:?}",
+            report.violations
+        );
+        assert_eq!(report.checked, 1);
+    }
+
+    #[test]
+    fn direct_vf_to_vf_is_flagged() {
+        let mut log = JourneyLog::new();
+        log.record(9, t(0), Hop::TenantTx { tenant: 0, side: 0 });
+        log.record(
+            9,
+            t(10),
+            Hop::NicSwitch {
+                pf: 0,
+                from: NicEndpoint::TenantVf { tenant: 0 },
+                to: NicEndpoint::TenantVf { tenant: 1 },
+                hairpin: true,
+            },
+        );
+        log.record(9, t(20), Hop::TenantRx { tenant: 1, side: 0 });
+        let report = MediationAuditor::sriov().audit(&log);
+        // Flagged twice: once by the direct-forward rule, once by the
+        // no-vswitch-in-segment rule.
+        assert!(!report.ok());
+        assert!(report.violations.iter().any(|v| v.frame == 9));
+    }
+
+    #[test]
+    fn dropped_frames_are_not_violations() {
+        let mut log = JourneyLog::new();
+        log.record(3, t(0), Hop::TenantTx { tenant: 0, side: 0 });
+        log.record(
+            3,
+            t(5),
+            Hop::Drop {
+                cause: crate::DropCause::NicSpoof,
+            },
+        );
+        let report = MediationAuditor::sriov().audit(&log);
+        assert!(report.ok());
+        assert_eq!(report.checked, 0);
+    }
+
+    #[test]
+    fn wire_to_wire_segments_are_skipped() {
+        let mut log = JourneyLog::new();
+        log.record(4, t(0), Hop::WireIngress { pf: 0 });
+        log.record(
+            4,
+            t(10),
+            Hop::VswitchRecv {
+                vswitch: 0,
+                port: 0,
+            },
+        );
+        log.record(4, t(20), Hop::WireEgress { pf: 1 });
+        let report = MediationAuditor::sriov().audit(&log);
+        assert!(report.ok());
+        assert_eq!(report.checked, 0);
+        assert_eq!(report.skipped, 1);
+    }
+
+    #[test]
+    fn lenient_auditor_accepts_vhost_baseline() {
+        // Baseline: tenant traffic rides vhost into the PF vswitch —
+        // no embedded-switch hop exists for the tenant leg.
+        let mut log = JourneyLog::new();
+        log.record(5, t(0), Hop::TenantTx { tenant: 0, side: 0 });
+        log.record(
+            5,
+            t(10),
+            Hop::VswitchRecv {
+                vswitch: 0,
+                port: 2,
+            },
+        );
+        log.record(
+            5,
+            t(20),
+            Hop::VswitchForward {
+                vswitch: 0,
+                cache_hit: false,
+                outputs: 1,
+            },
+        );
+        log.record(5, t(30), Hop::TenantRx { tenant: 1, side: 0 });
+        assert!(MediationAuditor::new().audit(&log).ok());
+        assert!(!MediationAuditor::sriov().audit(&log).ok());
+    }
+}

@@ -1,0 +1,103 @@
+//! The typed vocabulary of frame-drop reasons.
+//!
+//! Replaces the stringly-typed `drop_frame(cause: &str)` the runtime
+//! started with: every drop site names a variant, every variant feeds a
+//! per-cause counter, and exhaustive matches catch dangling causes at
+//! compile time.
+
+use core::fmt;
+
+/// Why the runtime discarded a frame.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DropCause {
+    /// The NIC rejected the operation (bad PF, unconfigured function).
+    NicError,
+    /// MAC anti-spoofing on VF ingress rejected the source address.
+    NicSpoof,
+    /// An operator wildcard filter on the embedded switch matched.
+    NicFilter,
+    /// VLAN tagging rules rejected the frame (foreign or missing tag).
+    NicVlan,
+    /// The VF↔VF hairpin engine's queue overflowed.
+    HairpinOverflow,
+    /// A frame reached the PF but no vswitch owns it.
+    PfUnclaimed,
+    /// A frame reached a VF that no vswitch or tenant owns.
+    VfUnclaimed,
+    /// A vswitch rx ring was full (CPU-bound loss under saturation).
+    VswitchRing,
+    /// A vswitch emitted to a port with no backing attachment.
+    UnattachedPort,
+    /// A frame was addressed to a tenant index that does not exist.
+    NoSuchTenant,
+    /// A tenant tried to transmit on a side with no VF.
+    TenantNoVf,
+    /// A vhost frame had no registered vswitch port to land on.
+    VhostUnrouted,
+    /// A frame was addressed to a TCP host index that does not exist.
+    NoSuchHost,
+    /// A TCP host received a frame for an address it does not serve.
+    HostMisaddressed,
+}
+
+impl DropCause {
+    /// Every cause, in stable (alphabetical-ish declaration) order.
+    pub const ALL: [DropCause; 14] = [
+        DropCause::NicError,
+        DropCause::NicSpoof,
+        DropCause::NicFilter,
+        DropCause::NicVlan,
+        DropCause::HairpinOverflow,
+        DropCause::PfUnclaimed,
+        DropCause::VfUnclaimed,
+        DropCause::VswitchRing,
+        DropCause::UnattachedPort,
+        DropCause::NoSuchTenant,
+        DropCause::TenantNoVf,
+        DropCause::VhostUnrouted,
+        DropCause::NoSuchHost,
+        DropCause::HostMisaddressed,
+    ];
+
+    /// Stable kebab-case label (the former string keys, kept for reports
+    /// and CSV compatibility).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropCause::NicError => "nic-error",
+            DropCause::NicSpoof => "nic-spoof",
+            DropCause::NicFilter => "nic-filter",
+            DropCause::NicVlan => "nic-vlan",
+            DropCause::HairpinOverflow => "hairpin-overflow",
+            DropCause::PfUnclaimed => "pf-unclaimed",
+            DropCause::VfUnclaimed => "vf-unclaimed",
+            DropCause::VswitchRing => "vswitch-ring",
+            DropCause::UnattachedPort => "unattached-port",
+            DropCause::NoSuchTenant => "no-such-tenant",
+            DropCause::TenantNoVf => "tenant-no-vf",
+            DropCause::VhostUnrouted => "vhost-unrouted",
+            DropCause::NoSuchHost => "no-such-host",
+            DropCause::HostMisaddressed => "host-misaddressed",
+        }
+    }
+}
+
+impl fmt::Display for DropCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in DropCause::ALL {
+            assert!(seen.insert(c.as_str()), "duplicate label {}", c);
+        }
+        assert_eq!(seen.len(), DropCause::ALL.len());
+        assert_eq!(DropCause::NicSpoof.to_string(), "nic-spoof");
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-frame journey records.
+//!
+//! A *journey* is the ordered list of hops one frame took through the
+//! deployment, correlated by the frame's globally-unique id. Journeys
+//! are what the [`crate::audit::MediationAuditor`] consumes to check the
+//! paper's complete-mediation property, and what the trace exporters
+//! flatten into timeline rows.
+
+use std::collections::BTreeMap;
+
+use mts_sim::Time;
+
+use crate::drop_cause::DropCause;
+
+/// An endpoint class on the SR-IOV NIC, as seen by the embedded switch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NicEndpoint {
+    /// The physical uplink (external wire).
+    Wire,
+    /// The physical function (kernel / vswitch attach point in Baseline).
+    Pf,
+    /// A VF owned directly by a tenant VM.
+    TenantVf { tenant: u8 },
+    /// A VF owned by a vswitch VM (MTS mediation path).
+    VswitchVf { vswitch: u8 },
+}
+
+impl NicEndpoint {
+    pub fn label(self) -> String {
+        match self {
+            NicEndpoint::Wire => "wire".to_string(),
+            NicEndpoint::Pf => "pf".to_string(),
+            NicEndpoint::TenantVf { tenant } => format!("tenant-vf:{tenant}"),
+            NicEndpoint::VswitchVf { vswitch } => format!("vswitch-vf:{vswitch}"),
+        }
+    }
+}
+
+/// One step of a frame's path through the deployment.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Hop {
+    /// Frame entered from the external wire on physical port `pf`.
+    WireIngress { pf: u8 },
+    /// The NIC's embedded switch forwarded the frame between two
+    /// endpoint classes (the per-frame mediation verdict of the VEB).
+    NicSwitch {
+        pf: u8,
+        from: NicEndpoint,
+        to: NicEndpoint,
+        /// True when the frame took the VF↔VF hairpin engine.
+        hairpin: bool,
+    },
+    /// A vswitch VM dequeued the frame from its rx ring.
+    VswitchRecv { vswitch: u8, port: u32 },
+    /// The vswitch pipeline classified the frame and planned outputs.
+    VswitchForward {
+        vswitch: u8,
+        /// True when the flow-cache hit; false means slow-path table walk.
+        cache_hit: bool,
+        outputs: u8,
+    },
+    /// Delivered into a tenant VM (side 0 = a-side VF, 1 = b-side VF).
+    TenantRx { tenant: u8, side: u8 },
+    /// A tenant VM transmitted the frame on one of its VFs.
+    TenantTx { tenant: u8, side: u8 },
+    /// Frame left the deployment on physical port `pf` toward the wire.
+    WireEgress { pf: u8 },
+    /// Frame was discarded.
+    Drop { cause: DropCause },
+}
+
+impl Hop {
+    /// Short event name for traces (`category.action`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Hop::WireIngress { .. } => "wire.ingress",
+            Hop::NicSwitch { .. } => "nic.switch",
+            Hop::VswitchRecv { .. } => "vswitch.recv",
+            Hop::VswitchForward { .. } => "vswitch.forward",
+            Hop::TenantRx { .. } => "tenant.rx",
+            Hop::TenantTx { .. } => "tenant.tx",
+            Hop::WireEgress { .. } => "wire.egress",
+            Hop::Drop { .. } => "frame.drop",
+        }
+    }
+}
+
+/// A hop plus the simulated instant it happened.
+#[derive(Clone, PartialEq, Debug)]
+pub struct JourneyHop {
+    pub at: Time,
+    pub hop: Hop,
+}
+
+/// The full recorded path of one frame.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Journey {
+    pub frame: u64,
+    pub hops: Vec<JourneyHop>,
+}
+
+impl Journey {
+    /// True if any hop is a drop.
+    pub fn dropped(&self) -> bool {
+        self.hops.iter().any(|h| matches!(h.hop, Hop::Drop { .. }))
+    }
+}
+
+/// All journeys of a run, keyed by frame id (deterministic iteration).
+#[derive(Debug)]
+pub struct JourneyLog {
+    journeys: BTreeMap<u64, Journey>,
+    /// Maximum number of distinct frames to track; hops for frames past
+    /// the cap are counted in `truncated` instead of recorded.
+    cap: usize,
+    truncated: u64,
+}
+
+impl Default for JourneyLog {
+    fn default() -> Self {
+        JourneyLog {
+            journeys: BTreeMap::new(),
+            cap: 1_000_000,
+            truncated: 0,
+        }
+    }
+}
+
+impl JourneyLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound the number of tracked frames (saturation runs can emit
+    /// millions; the auditor only needs a representative window).
+    pub fn with_cap(cap: usize) -> Self {
+        JourneyLog {
+            cap,
+            ..Self::default()
+        }
+    }
+
+    /// Append `hop` to frame `frame`'s journey at simulated time `at`.
+    pub fn record(&mut self, frame: u64, at: Time, hop: Hop) {
+        if let Some(j) = self.journeys.get_mut(&frame) {
+            j.hops.push(JourneyHop { at, hop });
+            return;
+        }
+        if self.journeys.len() >= self.cap {
+            self.truncated += 1;
+            return;
+        }
+        self.journeys.insert(
+            frame,
+            Journey {
+                frame,
+                hops: vec![JourneyHop { at, hop }],
+            },
+        );
+    }
+
+    pub fn get(&self, frame: u64) -> Option<&Journey> {
+        self.journeys.get(&frame)
+    }
+
+    pub fn len(&self) -> usize {
+        self.journeys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.journeys.is_empty()
+    }
+
+    /// Frames whose journeys were NOT recorded because the cap was hit.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Journey> {
+        self.journeys.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journeys_accumulate_hops_in_order() {
+        let mut log = JourneyLog::new();
+        log.record(
+            7,
+            Time::from_nanos(10),
+            Hop::TenantTx { tenant: 0, side: 0 },
+        );
+        log.record(
+            7,
+            Time::from_nanos(20),
+            Hop::NicSwitch {
+                pf: 0,
+                from: NicEndpoint::TenantVf { tenant: 0 },
+                to: NicEndpoint::VswitchVf { vswitch: 0 },
+                hairpin: true,
+            },
+        );
+        let j = log.get(7).unwrap();
+        assert_eq!(j.hops.len(), 2);
+        assert_eq!(j.hops[0].hop.name(), "tenant.tx");
+        assert!(!j.dropped());
+    }
+
+    #[test]
+    fn cap_stops_new_frames_but_not_existing() {
+        let mut log = JourneyLog::with_cap(1);
+        log.record(1, Time::from_nanos(0), Hop::WireIngress { pf: 0 });
+        log.record(2, Time::from_nanos(1), Hop::WireIngress { pf: 0 });
+        log.record(1, Time::from_nanos(2), Hop::WireEgress { pf: 1 });
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.truncated(), 1);
+        assert_eq!(log.get(1).unwrap().hops.len(), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! A deterministic registry of named, labelled metrics.
+//!
+//! Three metric kinds, mirroring the Prometheus data model:
+//!
+//! - **counters** — monotonically increasing `u64` (frames forwarded,
+//!   drops by cause, cache misses);
+//! - **gauges** — last-write-wins `f64` (ring occupancy high-water mark,
+//!   configured rate);
+//! - **histograms** — [`mts_sim::Histogram`] distributions (per-hop
+//!   latency in simulated nanoseconds).
+//!
+//! Every series is keyed by `(name, sorted label pairs)` in `BTreeMap`s,
+//! so iteration order — and therefore every exporter byte — is a pure
+//! function of the recorded values. No wall-clock time is ever read;
+//! timestamps come from the simulation's [`mts_sim::Time`].
+
+use std::collections::BTreeMap;
+
+use mts_sim::Histogram;
+
+/// A fully-resolved series key: metric name plus sorted `label=value` pairs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct SeriesKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{}=\"{}\"", k, prom_escape(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+
+    /// Render with extra label pairs appended (used for quantile series).
+    fn render_with(&self, extra: &[(&str, &str)]) -> String {
+        let mut labels = self.labels.clone();
+        for (k, v) in extra {
+            labels.push((k.to_string(), v.to_string()));
+        }
+        labels.sort();
+        let body: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{}=\"{}\"", k, prom_escape(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+}
+
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Registry of counters, gauges and histograms.
+#[derive(Default, Debug)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, f64>,
+    histograms: BTreeMap<SeriesKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to the counter `name` with the given labels.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        *self
+            .counters
+            .entry(SeriesKey::new(name, labels))
+            .or_insert(0) += v;
+    }
+
+    /// Increment the counter by one.
+    pub fn counter_inc(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.counter_add(name, labels, 1);
+    }
+
+    /// Set the gauge `name` to `v` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.gauges.insert(SeriesKey::new(name, labels), v);
+    }
+
+    /// Raise the gauge to `v` if `v` exceeds the current value
+    /// (high-water-mark semantics).
+    pub fn gauge_max(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let slot = self
+            .gauges
+            .entry(SeriesKey::new(name, labels))
+            .or_insert(f64::NEG_INFINITY);
+        if v > *slot {
+            *slot = v;
+        }
+    }
+
+    /// Record `v` into the histogram `name`.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.histograms
+            .entry(SeriesKey::new(name, labels))
+            .or_default()
+            .record(v);
+    }
+
+    /// Current value of a counter series (0 if never touched).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&SeriesKey::new(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of every counter series sharing `name`, regardless of labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Iterate `(key, value)` over every counter series named `name`.
+    pub fn counters_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = (&'a SeriesKey, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(k, _)| k.name == name)
+            .map(|(k, v)| (k, *v))
+    }
+
+    /// Access a histogram series, if it exists.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(&SeriesKey::new(name, labels))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render the registry in the Prometheus text exposition format.
+    ///
+    /// Counters become `# TYPE <name> counter` series; gauges `gauge`;
+    /// histograms are rendered as Prometheus *summaries* (`quantile`
+    /// label plus `_sum`/`_count`), which is the honest mapping for an
+    /// HDR-style log-bucketed histogram. Output is byte-for-byte
+    /// deterministic for a given registry state.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for (key, v) in &self.counters {
+            if last_name != Some(key.name.as_str()) {
+                out.push_str(&format!("# TYPE {} counter\n", key.name));
+                last_name = Some(key.name.as_str());
+            }
+            out.push_str(&format!("{} {}\n", key.render(), v));
+        }
+        last_name = None;
+        for (key, v) in &self.gauges {
+            if last_name != Some(key.name.as_str()) {
+                out.push_str(&format!("# TYPE {} gauge\n", key.name));
+                last_name = Some(key.name.as_str());
+            }
+            out.push_str(&format!("{} {}\n", key.render(), fmt_f64(*v)));
+        }
+        last_name = None;
+        for (key, h) in &self.histograms {
+            if last_name != Some(key.name.as_str()) {
+                out.push_str(&format!("# TYPE {} summary\n", key.name));
+                last_name = Some(key.name.as_str());
+            }
+            for q in [0.5_f64, 0.9, 0.99] {
+                let qv = h.percentile(q * 100.0);
+                out.push_str(&format!(
+                    "{} {}\n",
+                    key.render_with(&[("quantile", &fmt_f64(q))]),
+                    qv
+                ));
+            }
+            let sum = (h.mean() * h.count() as f64).round() as u64;
+            out.push_str(&format!("{}_sum{} {}\n", key.name, render_suffix(key), sum));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                key.name,
+                render_suffix(key),
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+fn render_suffix(key: &SeriesKey) -> String {
+    if key.labels.is_empty() {
+        String::new()
+    } else {
+        let body: Vec<String> = key
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{}=\"{}\"", k, prom_escape(v)))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+/// Format an f64 without scientific notation surprises: integers render
+/// bare ("3"), fractions keep their shortest round-trip form.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{}", v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let mut m = MetricsRegistry::new();
+        m.counter_inc("frames_total", &[("tenant", "0")]);
+        m.counter_add("frames_total", &[("tenant", "0")], 2);
+        m.counter_inc("frames_total", &[("tenant", "1")]);
+        assert_eq!(m.counter_value("frames_total", &[("tenant", "0")]), 3);
+        assert_eq!(m.counter_value("frames_total", &[("tenant", "1")]), 1);
+        assert_eq!(m.counter_total("frames_total"), 4);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let mut m = MetricsRegistry::new();
+        m.counter_inc("x", &[("b", "2"), ("a", "1")]);
+        m.counter_inc("x", &[("a", "1"), ("b", "2")]);
+        assert_eq!(m.counter_value("x", &[("a", "1"), ("b", "2")]), 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_typed() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("mts_drops_total", &[("cause", "nic-spoof")], 7);
+        m.gauge_set("mts_ring_occupancy", &[("vswitch", "0")], 12.0);
+        m.observe("mts_hop_ns", &[("hop", "nic")], 640);
+        m.observe("mts_hop_ns", &[("hop", "nic")], 640);
+        let text = m.render_prometheus();
+        let again = m.render_prometheus();
+        assert_eq!(text, again);
+        assert!(text.contains("# TYPE mts_drops_total counter"));
+        assert!(text.contains("mts_drops_total{cause=\"nic-spoof\"} 7"));
+        assert!(text.contains("# TYPE mts_ring_occupancy gauge"));
+        assert!(text.contains("mts_ring_occupancy{vswitch=\"0\"} 12"));
+        assert!(text.contains("# TYPE mts_hop_ns summary"));
+        assert!(text.contains("mts_hop_ns_count{hop=\"nic\"} 2"));
+    }
+
+    #[test]
+    fn gauge_max_keeps_high_water_mark() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_max("hwm", &[], 3.0);
+        m.gauge_max("hwm", &[], 9.0);
+        m.gauge_max("hwm", &[], 5.0);
+        assert!(m.render_prometheus().contains("hwm 9"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Structured trace events and their exporters.
+//!
+//! Events carry simulated timestamps ([`mts_sim::Time`]) and optional
+//! durations ([`mts_sim::Dur`]). Two export formats:
+//!
+//! - **Chrome trace-event JSON** ([`TraceLog::to_chrome_trace`]) — load
+//!   the file in [Perfetto](https://ui.perfetto.dev) or
+//!   `chrome://tracing`. Events with a duration render as slices
+//!   (`"ph":"X"`), instantaneous ones as instants (`"ph":"i"`). The
+//!   `pid` groups a component (NIC, vswitch N, tenant N) and `tid` a
+//!   subunit within it, so each vswitch gets its own timeline row.
+//! - **JSONL** ([`TraceLog::to_jsonl`]) — one self-describing JSON
+//!   object per line for ad-hoc `jq`/pandas processing.
+//!
+//! Both renderings are byte-for-byte deterministic for a given log.
+
+use mts_sim::{Dur, Time};
+
+use crate::json::escape_json;
+
+/// An argument value attached to a trace event.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ArgValue {
+    U64(u64),
+    Str(String),
+}
+
+impl ArgValue {
+    fn render_json(&self) -> String {
+        match self {
+            ArgValue::U64(v) => v.to_string(),
+            ArgValue::Str(s) => format!("\"{}\"", escape_json(s)),
+        }
+    }
+}
+
+/// Stable pid values for the Chrome-trace process grouping.
+pub mod track {
+    /// The wire / traffic generators.
+    pub const WIRE: u32 = 1;
+    /// The SR-IOV NIC (embedded switch, DMA, hairpin).
+    pub const NIC: u32 = 2;
+    /// vswitch VM `i` → pid `VSWITCH_BASE + i`.
+    pub const VSWITCH_BASE: u32 = 100;
+    /// Tenant VM `i` → pid `TENANT_BASE + i`.
+    pub const TENANT_BASE: u32 = 200;
+}
+
+/// One structured trace event.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceEvent {
+    /// Simulated start time.
+    pub at: Time,
+    /// Event name, e.g. `"vswitch.forward"`.
+    pub name: &'static str,
+    /// Category for trace-viewer filtering: `wire|nic|vswitch|tenant|drop`.
+    pub cat: &'static str,
+    /// Process id in the trace viewer (see [`track`]).
+    pub pid: u32,
+    /// Thread id within the process (e.g. core index, port).
+    pub tid: u32,
+    /// `Some` renders a complete slice; `None` renders an instant.
+    pub dur: Option<Dur>,
+    /// Key/value payload shown in the viewer's args pane.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// An append-only event log with a size cap.
+#[derive(Debug)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    truncated: u64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog {
+            events: Vec::new(),
+            cap: 4_000_000,
+            truncated: 0,
+        }
+    }
+}
+
+impl TraceLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_cap(cap: usize) -> Self {
+        TraceLog {
+            cap,
+            ..Self::default()
+        }
+    }
+
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() >= self.cap {
+            self.truncated += 1;
+            return;
+        }
+        self.events.push(ev);
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Render as a Chrome trace-event JSON document.
+    ///
+    /// Timestamps are microseconds with nanosecond precision kept as a
+    /// three-decimal fraction (the format's `ts` is a double).
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&render_chrome_event(ev));
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Render as JSON Lines: one object per event.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&render_jsonl_event(ev));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn us_with_ns_precision(ns: u64) -> String {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        format!("{whole}.{frac:03}")
+    }
+}
+
+fn render_args(args: &[(&'static str, ArgValue)]) -> String {
+    let body: Vec<String> = args
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", escape_json(k), v.render_json()))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn render_chrome_event(ev: &TraceEvent) -> String {
+    let ts = us_with_ns_precision(ev.at.as_nanos());
+    match ev.dur {
+        Some(d) => format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{}}}",
+            escape_json(ev.name),
+            escape_json(ev.cat),
+            ts,
+            us_with_ns_precision(d.as_nanos()),
+            ev.pid,
+            ev.tid,
+            render_args(&ev.args)
+        ),
+        None => format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{}}}",
+            escape_json(ev.name),
+            escape_json(ev.cat),
+            ts,
+            ev.pid,
+            ev.tid,
+            render_args(&ev.args)
+        ),
+    }
+}
+
+fn render_jsonl_event(ev: &TraceEvent) -> String {
+    let dur = match ev.dur {
+        Some(d) => format!(",\"dur_ns\":{}", d.as_nanos()),
+        None => String::new(),
+    };
+    format!(
+        "{{\"t_ns\":{},\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{}{},\"args\":{}}}",
+        ev.at.as_nanos(),
+        escape_json(ev.name),
+        escape_json(ev.cat),
+        ev.pid,
+        ev.tid,
+        dur,
+        render_args(&ev.args)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.push(TraceEvent {
+            at: Time::from_nanos(1_500),
+            name: "vswitch.forward",
+            cat: "vswitch",
+            pid: track::VSWITCH_BASE,
+            tid: 0,
+            dur: Some(Dur::nanos(250)),
+            args: vec![("frame", ArgValue::U64(42)), ("hit", ArgValue::U64(1))],
+        });
+        log.push(TraceEvent {
+            at: Time::from_nanos(2_000),
+            name: "frame.drop",
+            cat: "drop",
+            pid: track::NIC,
+            tid: 0,
+            dur: None,
+            args: vec![("cause", ArgValue::Str("nic-spoof".into()))],
+        });
+        log
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let text = sample_log().to_chrome_trace();
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ts\":1.500"));
+        assert!(text.contains("\"dur\":0.250"));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"cause\":\"nic-spoof\""));
+        assert!(text.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let text = sample_log().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t_ns\":1500,"));
+        assert!(lines[1].contains("\"name\":\"frame.drop\""));
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let mut log = TraceLog::with_cap(1);
+        for _ in 0..3 {
+            log.push(TraceEvent {
+                at: Time::ZERO,
+                name: "x",
+                cat: "c",
+                pid: 1,
+                tid: 1,
+                dur: None,
+                args: vec![],
+            });
+        }
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.truncated(), 2);
+    }
+}

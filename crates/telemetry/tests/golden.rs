@@ -1,0 +1,108 @@
+//! Golden-file tests: the exporters' output is a public contract — trace
+//! viewers and scripts parse it — so a hand-built log must render
+//! byte-for-byte identically, forever. Quantile values reflect the
+//! log-bucketed histogram's bucket midpoints, not exact inputs.
+
+use mts_sim::{Dur, Time};
+use mts_telemetry::trace::{track, ArgValue};
+use mts_telemetry::{MetricsRegistry, TraceEvent, TraceLog};
+
+fn sample_trace() -> TraceLog {
+    let mut log = TraceLog::new();
+    log.push(TraceEvent {
+        at: Time::from_nanos(20_101),
+        name: "nic.switch",
+        cat: "nic",
+        pid: track::NIC,
+        tid: 0,
+        dur: None,
+        args: vec![
+            ("frame", ArgValue::U64(7)),
+            ("from", ArgValue::Str("wire".into())),
+            ("to", ArgValue::Str("vswitch-vf:1".into())),
+            ("hairpin", ArgValue::U64(0)),
+        ],
+    });
+    log.push(TraceEvent {
+        at: Time::from_nanos(21_000),
+        name: "vswitch.forward",
+        cat: "vswitch",
+        pid: track::VSWITCH_BASE + 1,
+        tid: 3,
+        dur: Some(Dur::nanos(1_250)),
+        args: vec![("frame", ArgValue::U64(7)), ("cache_hit", ArgValue::U64(1))],
+    });
+    log
+}
+
+fn sample_metrics() -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    m.counter_add("mts_drops_total", &[("cause", "vf-unclaimed")], 3);
+    m.counter_add("mts_tenant_rx_total", &[("tenant", "0")], 100);
+    m.counter_add("mts_tenant_rx_total", &[("tenant", "1")], 96);
+    m.gauge_max(
+        "mts_vswitch_ring_hwm",
+        &[("vswitch", "0"), ("port", "2")],
+        5.0,
+    );
+    for v in [1000, 2000, 3000, 4000] {
+        m.observe("mts_e2e_latency_ns", &[], v);
+    }
+    m
+}
+
+#[test]
+fn chrome_trace_golden() {
+    let expected = concat!(
+        "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n",
+        "{\"name\":\"nic.switch\",\"cat\":\"nic\",\"ph\":\"i\",\"s\":\"t\",",
+        "\"ts\":20.101,\"pid\":2,\"tid\":0,\"args\":{\"frame\":7,",
+        "\"from\":\"wire\",\"to\":\"vswitch-vf:1\",\"hairpin\":0}},\n",
+        "{\"name\":\"vswitch.forward\",\"cat\":\"vswitch\",\"ph\":\"X\",",
+        "\"ts\":21,\"dur\":1.250,\"pid\":101,\"tid\":3,",
+        "\"args\":{\"frame\":7,\"cache_hit\":1}}\n",
+        "]}\n",
+    );
+    assert_eq!(sample_trace().to_chrome_trace(), expected);
+}
+
+#[test]
+fn jsonl_golden() {
+    let expected = concat!(
+        "{\"t_ns\":20101,\"name\":\"nic.switch\",\"cat\":\"nic\",\"pid\":2,",
+        "\"tid\":0,\"args\":{\"frame\":7,\"from\":\"wire\",",
+        "\"to\":\"vswitch-vf:1\",\"hairpin\":0}}\n",
+        "{\"t_ns\":21000,\"name\":\"vswitch.forward\",\"cat\":\"vswitch\",",
+        "\"pid\":101,\"tid\":3,\"dur_ns\":1250,",
+        "\"args\":{\"frame\":7,\"cache_hit\":1}}\n",
+    );
+    assert_eq!(sample_trace().to_jsonl(), expected);
+}
+
+#[test]
+fn prometheus_golden() {
+    let expected = "\
+# TYPE mts_drops_total counter
+mts_drops_total{cause=\"vf-unclaimed\"} 3
+# TYPE mts_tenant_rx_total counter
+mts_tenant_rx_total{tenant=\"0\"} 100
+mts_tenant_rx_total{tenant=\"1\"} 96
+# TYPE mts_vswitch_ring_hwm gauge
+mts_vswitch_ring_hwm{port=\"2\",vswitch=\"0\"} 5
+# TYPE mts_e2e_latency_ns summary
+mts_e2e_latency_ns{quantile=\"0.5\"} 1984
+mts_e2e_latency_ns{quantile=\"0.9\"} 3968
+mts_e2e_latency_ns{quantile=\"0.99\"} 3968
+mts_e2e_latency_ns_sum 10000
+mts_e2e_latency_ns_count 4
+";
+    assert_eq!(sample_metrics().render_prometheus(), expected);
+}
+
+#[test]
+fn renders_are_idempotent() {
+    let log = sample_trace();
+    assert_eq!(log.to_chrome_trace(), log.to_chrome_trace());
+    let m = sample_metrics();
+    assert_eq!(m.render_prometheus(), m.render_prometheus());
+}

@@ -87,9 +87,12 @@ impl DatapathCosts {
     /// super-segments, so descriptor/lookup costs are paid once per ~8
     /// MTU-frames while byte-touching costs remain per byte.
     pub fn packet_cost_amortized(&self, frame: &Frame, cache_hit: bool, factor: u64) -> Dur {
-        let base = if cache_hit { self.cache_hit } else { self.slow_path };
-        base / factor.max(1)
-            + Dur::nanos(self.ps_per_byte * u64::from(frame.wire_len()) / 1000)
+        let base = if cache_hit {
+            self.cache_hit
+        } else {
+            self.slow_path
+        };
+        base / factor.max(1) + Dur::nanos(self.ps_per_byte * u64::from(frame.wire_len()) / 1000)
     }
 }
 
@@ -156,7 +159,13 @@ mod tests {
 
     #[test]
     fn for_kind_dispatches() {
-        assert_eq!(DatapathCosts::for_kind(DatapathKind::Kernel), DatapathCosts::kernel());
-        assert_eq!(DatapathCosts::for_kind(DatapathKind::Dpdk), DatapathCosts::dpdk());
+        assert_eq!(
+            DatapathCosts::for_kind(DatapathKind::Kernel),
+            DatapathCosts::kernel()
+        );
+        assert_eq!(
+            DatapathCosts::for_kind(DatapathKind::Dpdk),
+            DatapathCosts::dpdk()
+        );
     }
 }

@@ -261,7 +261,10 @@ impl VirtualSwitch {
 
     /// Returns the number of rules in a table.
     pub fn table_len(&self, table: u8) -> usize {
-        self.tables.get(table as usize).map(|t| t.len()).unwrap_or(0)
+        self.tables
+            .get(table as usize)
+            .map(|t| t.len())
+            .unwrap_or(0)
     }
 
     /// Total rules across all tables.
@@ -634,8 +637,11 @@ mod tests {
     #[test]
     fn cache_hit_on_second_packet() {
         let (mut sw, a, b) = two_port_switch();
-        sw.install(0, FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]))
-            .unwrap();
+        sw.install(
+            0,
+            FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]),
+        )
+        .unwrap();
         let _ = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
         let _ = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
         let cs = sw.cache_stats();
@@ -646,8 +652,11 @@ mod tests {
     #[test]
     fn rule_install_invalidates_cache() {
         let (mut sw, a, b) = two_port_switch();
-        sw.install(0, FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]))
-            .unwrap();
+        sw.install(
+            0,
+            FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]),
+        )
+        .unwrap();
         let _ = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
         // A higher-priority drop arrives; the cached entry must not be used.
         sw.install(0, FlowRule::new(10, FlowMatch::any(), vec![Action::Drop]))
@@ -721,12 +730,18 @@ mod tests {
             FlowRule::new(
                 1,
                 FlowMatch::any(),
-                vec![Action::SetEthSrc(MacAddr::local(7)), Action::GotoTable(TableId(2))],
+                vec![
+                    Action::SetEthSrc(MacAddr::local(7)),
+                    Action::GotoTable(TableId(2)),
+                ],
             ),
         )
         .unwrap();
-        sw.install(2, FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]))
-            .unwrap();
+        sw.install(
+            2,
+            FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]),
+        )
+        .unwrap();
         let out = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1.src, MacAddr::local(7));
@@ -824,8 +839,11 @@ mod tests {
     #[test]
     fn decap_of_plain_frame_drops() {
         let (mut sw, a, _) = two_port_switch();
-        sw.install(0, FlowRule::new(1, FlowMatch::any(), vec![Action::VxlanDecap]))
-            .unwrap();
+        sw.install(
+            0,
+            FlowRule::new(1, FlowMatch::any(), vec![Action::VxlanDecap]),
+        )
+        .unwrap();
         let out = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
         assert!(out.is_empty());
         assert_eq!(sw.stats().decap_drops, 1);
@@ -870,10 +888,16 @@ mod tests {
     #[test]
     fn cookie_removal_spans_tables() {
         let (mut sw, _, b) = two_port_switch();
-        sw.install(0, FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]).with_cookie(9))
-            .unwrap();
-        sw.install(3, FlowRule::new(1, FlowMatch::any(), vec![Action::Drop]).with_cookie(9))
-            .unwrap();
+        sw.install(
+            0,
+            FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]).with_cookie(9),
+        )
+        .unwrap();
+        sw.install(
+            3,
+            FlowRule::new(1, FlowMatch::any(), vec![Action::Drop]).with_cookie(9),
+        )
+        .unwrap();
         assert_eq!(sw.rule_count(), 2);
         assert_eq!(sw.remove_by_cookie(9), 2);
         assert_eq!(sw.rule_count(), 0);

@@ -101,9 +101,7 @@ impl FlowTable {
     /// Installs a rule, keeping priority order (stable for equal priority:
     /// earlier-inserted rules are checked first).
     pub fn add(&mut self, rule: FlowRule) {
-        let pos = self
-            .rules
-            .partition_point(|r| r.priority >= rule.priority);
+        let pos = self.rules.partition_point(|r| r.priority >= rule.priority);
         self.rules.insert(pos, rule);
     }
 
@@ -199,9 +197,19 @@ mod tests {
     #[test]
     fn equal_priority_is_first_inserted() {
         let mut t = FlowTable::new();
-        t.add(FlowRule::new(5, FlowMatch::any(), vec![Action::Output(PortNo(1))]));
-        t.add(FlowRule::new(5, FlowMatch::any(), vec![Action::Output(PortNo(2))]));
-        let hit = t.lookup(PortNo(0), &frame(Ipv4Addr::new(1, 1, 1, 1)), None).unwrap();
+        t.add(FlowRule::new(
+            5,
+            FlowMatch::any(),
+            vec![Action::Output(PortNo(1))],
+        ));
+        t.add(FlowRule::new(
+            5,
+            FlowMatch::any(),
+            vec![Action::Output(PortNo(2))],
+        ));
+        let hit = t
+            .lookup(PortNo(0), &frame(Ipv4Addr::new(1, 1, 1, 1)), None)
+            .unwrap();
         assert_eq!(hit.actions, vec![Action::Output(PortNo(1))]);
     }
 
@@ -223,7 +231,9 @@ mod tests {
     #[test]
     fn miss_counting_and_empty_table() {
         let mut t = FlowTable::new();
-        assert!(t.lookup(PortNo(0), &frame(Ipv4Addr::new(1, 1, 1, 1)), None).is_none());
+        assert!(t
+            .lookup(PortNo(0), &frame(Ipv4Addr::new(1, 1, 1, 1)), None)
+            .is_none());
         assert_eq!(t.misses(), 1);
         assert!(t.is_empty());
     }
@@ -244,7 +254,9 @@ mod tests {
     fn peek_does_not_count() {
         let mut t = FlowTable::new();
         t.add(FlowRule::new(1, FlowMatch::any(), vec![Action::Drop]));
-        assert!(t.peek(PortNo(0), &frame(Ipv4Addr::new(1, 1, 1, 1)), None).is_some());
+        assert!(t
+            .peek(PortNo(0), &frame(Ipv4Addr::new(1, 1, 1, 1)), None)
+            .is_some());
         assert_eq!(t.lookups(), 0);
         assert_eq!(t.rules().next().unwrap().stats.packets, 0);
     }

@@ -26,12 +26,8 @@ fn main() {
         seed: 1,
     };
 
-    let baseline = DeploymentSpec::baseline(
-        DatapathKind::Kernel,
-        ResourceMode::Shared,
-        1,
-        Scenario::P2v,
-    );
+    let baseline =
+        DeploymentSpec::baseline(DatapathKind::Kernel, ResourceMode::Shared, 1, Scenario::P2v);
     let mts_shared = DeploymentSpec::mts(
         SecurityLevel::Level2 { compartments: 4 },
         DatapathKind::Kernel,

@@ -44,7 +44,10 @@ fn main() {
             )
         })
         .collect();
-    println!("=== VXLAN overlay (per-tenant VNIs {}..) ===", overlay.vni_base);
+    println!(
+        "=== VXLAN overlay (per-tenant VNIs {}..) ===",
+        overlay.vni_base
+    );
     start_overlay_generator(
         &mut e,
         flows,

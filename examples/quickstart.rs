@@ -58,7 +58,10 @@ fn main() {
         tput.loss() * 100.0
     );
     println!("per-flow: {:?}", tput.per_flow);
-    println!("resources: {} cores, {} hugepages", tput.cores, tput.hugepages);
+    println!(
+        "resources: {} cores, {} hugepages",
+        tput.cores, tput.hugepages
+    );
 
     let lat = tb.run(RunOpts::latency()).expect("latency run completes");
     println!(

@@ -13,6 +13,8 @@
 //! - [`host`] — VMs, vhost channels, Linux bridge, resource accounting.
 //! - [`tcp`] — a Reno TCP stack for the workload evaluation.
 //! - [`apps`] — iperf / HTTP / Memcached workload applications.
+//! - [`telemetry`] — deterministic metrics, frame-journey tracing and the
+//!   complete-mediation auditor (see `OBSERVABILITY.md`).
 //! - [`core`] — the MTS architecture itself: security levels, deployment
 //!   builder, controller, testbed and attack validation.
 //!
@@ -52,4 +54,5 @@ pub use mts_net as net;
 pub use mts_nic as nic;
 pub use mts_sim as sim;
 pub use mts_tcp as tcp;
+pub use mts_telemetry as telemetry;
 pub use mts_vswitch as vswitch;

@@ -32,8 +32,7 @@ fn every_mts_level_forwards_losslessly_at_low_load() {
     for datapath in [DatapathKind::Kernel, DatapathKind::Dpdk] {
         for level in all_levels() {
             for scenario in Scenario::ALL {
-                let spec =
-                    DeploymentSpec::mts(level, datapath, ResourceMode::Isolated, scenario);
+                let spec = DeploymentSpec::mts(level, datapath, ResourceMode::Isolated, scenario);
                 let m = match Testbed::new(spec).run(gentle()) {
                     Ok(m) => m,
                     // v2v with singleton compartments is unsupported, as in

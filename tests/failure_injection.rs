@@ -6,7 +6,8 @@ use mts::core::runtime::{start_udp_generator, RuntimeCfg, Sim, World};
 use mts::core::spec::{DeploymentSpec, Scenario, SecurityLevel};
 use mts::host::ResourceMode;
 use mts::net::MacAddr;
-use mts::sim::{Dur, Time};
+use mts::sim::Time;
+use mts::telemetry::DropCause;
 use mts::vswitch::DatapathKind;
 use std::net::Ipv4Addr;
 
@@ -52,7 +53,7 @@ fn hot_unplugging_a_tenant_vf_only_kills_that_tenant() {
     assert!(t1 > 180, "tenant 1 must be unaffected: {t1}");
     assert!(w.sink.per_flow[2] > 180 && w.sink.per_flow[3] > 180);
     // The loss is visible and attributed.
-    assert!(w.drops.get("vf-unclaimed").copied().unwrap_or(0) > 0);
+    assert!(w.drops.get(&DropCause::VfUnclaimed).copied().unwrap_or(0) > 0);
 }
 
 #[test]
@@ -67,10 +68,26 @@ fn wiping_one_compartments_rules_does_not_touch_the_other() {
     e.run_until(&mut w, Time::from_nanos(40_000_000));
 
     // Compartment 0 serves tenants 0 and 2; compartment 1 serves 1 and 3.
-    assert!(w.sink.per_flow[0] < 70, "t0 fails closed: {:?}", w.sink.per_flow);
-    assert!(w.sink.per_flow[2] < 70, "t2 fails closed: {:?}", w.sink.per_flow);
-    assert!(w.sink.per_flow[1] > 180, "t1 unaffected: {:?}", w.sink.per_flow);
-    assert!(w.sink.per_flow[3] > 180, "t3 unaffected: {:?}", w.sink.per_flow);
+    assert!(
+        w.sink.per_flow[0] < 70,
+        "t0 fails closed: {:?}",
+        w.sink.per_flow
+    );
+    assert!(
+        w.sink.per_flow[2] < 70,
+        "t2 fails closed: {:?}",
+        w.sink.per_flow
+    );
+    assert!(
+        w.sink.per_flow[1] > 180,
+        "t1 unaffected: {:?}",
+        w.sink.per_flow
+    );
+    assert!(
+        w.sink.per_flow[3] > 180,
+        "t3 unaffected: {:?}",
+        w.sink.per_flow
+    );
 }
 
 #[test]
@@ -85,11 +102,7 @@ fn rule_reinstallation_recovers_forwarding() {
         // Reinstall the p2v scenario rules exactly as the controller would.
         let spec = w.spec;
         let fresh = Controller::deploy(spec).expect("redeploys");
-        let rules: Vec<_> = fresh.vswitches[0]
-            .sw
-            .dump_rules()
-            .into_iter()
-            .collect();
+        let rules: Vec<_> = fresh.vswitches[0].sw.dump_rules().into_iter().collect();
         for (table, rule) in rules {
             w.vswitches[0]
                 .inst
@@ -108,13 +121,23 @@ fn rule_reinstallation_recovers_forwarding() {
         w.sink.per_flow
     );
     // And every tenant resumed after reconciliation.
-    assert!(w.sink.per_flow.iter().all(|&c| c > 100), "{:?}", w.sink.per_flow);
+    assert!(
+        w.sink.per_flow.iter().all(|&c| c > 100),
+        "{:?}",
+        w.sink.per_flow
+    );
 }
 
 #[test]
 fn zero_rate_and_empty_flow_lists_are_noops() {
     let (mut w, mut e, flows) = build(SecurityLevel::Level1);
-    start_udp_generator(&mut e, Vec::new(), 40_000.0, 64, Time::from_nanos(1_000_000));
+    start_udp_generator(
+        &mut e,
+        Vec::new(),
+        40_000.0,
+        64,
+        Time::from_nanos(1_000_000),
+    );
     start_udp_generator(&mut e, flows, 0.0, 64, Time::from_nanos(1_000_000));
     e.run_until(&mut w, Time::from_nanos(5_000_000));
     assert_eq!(w.sink.sent, 0);

@@ -215,14 +215,16 @@ fn security_ladder_is_monotone() {
     }
     // Level-1's headline claim: the host survives a compromised vswitch.
     let l1 = &ladder[1];
-    assert!(l1
-        .outcome(Attack::DirectHostAccess)
-        .expect("attack evaluated")
-        .blocked);
+    assert!(
+        l1.outcome(Attack::DirectHostAccess)
+            .expect("attack evaluated")
+            .blocked
+    );
     // Level-2's headline claim: tenants survive each other's vswitches.
     let l2 = &ladder[2];
-    assert!(l2
-        .outcome(Attack::CompromisedVswitch)
-        .expect("attack evaluated")
-        .blocked);
+    assert!(
+        l2.outcome(Attack::CompromisedVswitch)
+            .expect("attack evaluated")
+            .blocked
+    );
 }

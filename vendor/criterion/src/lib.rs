@@ -1,0 +1,241 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Implements the surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//! Instead of criterion's full statistical pipeline it reports the mean
+//! wall-clock time per iteration over a fixed measurement window, which
+//! is enough for the A/B comparisons the benches are used for here.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; the stub
+/// times every batch individually regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Measurement settings shared by a `Criterion` and its groups.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(400),
+            sample_size: 20,
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.to_string(), self.settings, f);
+        self
+    }
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), self.settings, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the actual routine.
+pub struct Bencher {
+    settings: Settings,
+    /// (total busy time, iterations) accumulated by `iter*` calls.
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up.
+        let warm_until = Instant::now() + self.settings.warm_up;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        let measure_until = Instant::now() + self.settings.measurement;
+        let mut iters = 0u64;
+        let started = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if Instant::now() >= measure_until {
+                break;
+            }
+        }
+        self.total += started.elapsed();
+        self.iters += iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup time excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.settings.warm_up;
+        while Instant::now() < warm_until {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let measure_until = Instant::now() + self.settings.measurement;
+        let mut busy = Duration::ZERO;
+        let mut iters = 0u64;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            busy += t0.elapsed();
+            iters += 1;
+            if Instant::now() >= measure_until {
+                break;
+            }
+        }
+        self.total += busy;
+        self.iters += iters;
+    }
+}
+
+fn run_bench<F>(name: &str, settings: Settings, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        settings,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<40} (no iterations)");
+        return;
+    }
+    let per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+    println!("{name:<40} {:>12} time: {}", b.iters, format_ns(per_iter));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_accumulates() {
+        let mut c = Criterion::default();
+        c.settings.warm_up = Duration::from_millis(1);
+        c.settings.measurement = Duration::from_millis(5);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access and an empty crates.io
+//! cache, so the real serde cannot be fetched. Nothing in this workspace
+//! actually serializes through serde (the derives are forward-looking
+//! markers; all exporters hand-roll their formats), which lets this stub
+//! get away with empty traits and derives that expand to nothing.
+//!
+//! Replace with the real crate by deleting the `vendor/` path entries in
+//! the workspace `Cargo.toml` once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable with the real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with the real serde.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The workspace only uses serde derives as markers (nothing in the tree
+//! serializes through serde — exporters emit their wire formats by hand),
+//! so the offline stand-in can expand to nothing. `attributes(serde)`
+//! keeps `#[serde(...)]` field attributes legal should they ever appear.
+
+use proc_macro::TokenStream;
+
+/// Accepts the input and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the input and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
