@@ -143,6 +143,7 @@ impl App for AbClient {
             None => false,
         };
         if done {
+            // lint:allow(no-unwrap): `done` is only true when the entry exists
             let st = self.inflight.remove(&conn).expect("checked above");
             self.completed += 1;
             ctx.record_latency((now - st.started).as_nanos());

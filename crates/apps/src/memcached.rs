@@ -204,6 +204,7 @@ impl App for MemslapClient {
                 .outstanding
                 .insert(conn, None)
                 .flatten()
+                // lint:allow(no-unwrap): `finished` is only true when the op exists
                 .expect("checked above");
             self.completed += 1;
             ctx.record_latency((now - op.started).as_nanos());

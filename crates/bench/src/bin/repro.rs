@@ -5,12 +5,20 @@
 //! ```text
 //! repro [--quick] [--out DIR] \
 //!   [--trace-out FILE] [--metrics-out FILE] \
-//!   [all|fig5|fig6|pktsize|table1|vfcount|isolation|noisy|overlay|billing|trace]
+//!   [all|verify|fig5|fig6|pktsize|table1|vfcount|isolation|noisy|overlay|billing|trace]
 //! ```
 //!
 //! Prints aligned tables to stdout and writes CSV files under `--out`
 //! (default `results/`). `--quick` scales measurement windows down ~8x for
 //! a fast smoke pass.
+//!
+//! The `verify` target runs the static isolation/complete-mediation
+//! verifier (`mts-isocheck`, see `VERIFICATION.md`) over every shipped
+//! compartmentalized configuration, then seeds three canonical
+//! misconfigurations and demands each is detected with a concrete
+//! counterexample witness. Exits nonzero on any failure. The same analysis
+//! also runs automatically as a pre-flight check before every simulated
+//! scenario.
 //!
 //! The `trace` target (implied when `--trace-out`/`--metrics-out` is given
 //! without an explicit target) runs a Level-2 v2v scenario with telemetry
@@ -201,6 +209,73 @@ fn run_trace(quick: bool, trace_out: Option<&Path>, metrics_out: Option<&Path>) 
     }
 }
 
+/// The static verification suite: every shipped compartmentalized
+/// configuration must verify clean, and every seeded misconfiguration must
+/// be detected with a counterexample witness.
+fn run_verify() {
+    println!("== static verification (mts-isocheck) ==");
+    let reports = match mts_isocheck::verify_shipped() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro: verify: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failed = false;
+    for r in &reports {
+        println!("{r}");
+        if !r.informational && !r.is_clean() {
+            failed = true;
+        }
+    }
+    println!("== negative controls: seeded misconfigurations ==");
+    let spec = DeploymentSpec::mts(
+        SecurityLevel::Level1,
+        DatapathKind::Kernel,
+        ResourceMode::Shared,
+        Scenario::P2v,
+    );
+    let mut detected = 0usize;
+    for mc in mts_isocheck::Misconfig::ALL {
+        let seeded = Controller::deploy(spec)
+            .map_err(|e| e.to_string())
+            .and_then(|mut d| {
+                let what = mc.seed(&mut d).map_err(|e| e.to_string())?;
+                let r = mts_isocheck::verify(&d).map_err(|e| e.to_string())?;
+                Ok((what, r))
+            });
+        match seeded {
+            Ok((what, r)) => {
+                println!("-- seeded {}: {what}", mc.label());
+                println!("{r}");
+                if mc.detected_in(&r) {
+                    detected += 1;
+                } else {
+                    eprintln!(
+                        "repro: verify: seeded misconfiguration '{}' NOT detected",
+                        mc.label()
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("repro: verify: cannot seed '{}': {e}", mc.label());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("repro: static verification FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "verify: {} shipped configurations clean; {detected}/{} seeded \
+         misconfigurations detected with witnesses",
+        reports.len(),
+        mts_isocheck::Misconfig::ALL.len()
+    );
+}
+
 fn main() {
     let args = parse_args();
     let opts = if args.quick {
@@ -216,6 +291,7 @@ fn main() {
     );
     for what in &args.what {
         match what.as_str() {
+            "verify" => run_verify(),
             "fig5" => run_fig5(opts, &args.out),
             "fig6" => run_fig6(opts, &args.out),
             "pktsize" => {
@@ -362,6 +438,7 @@ fn main() {
                 }
             }
             "all" => {
+                run_verify();
                 println!("== Table 1 ==\n{}", survey::render_table());
                 println!("{}", vf_count_table());
                 println!("{}", isolation_matrix());

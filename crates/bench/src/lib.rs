@@ -6,8 +6,14 @@
 //! The Criterion benches under `benches/` exercise the same code paths at
 //! reduced windows (one bench per table/figure, plus substrate
 //! microbenchmarks).
+//!
+//! Every compartmentalized scenario is statically verified by
+//! `mts-isocheck` before it is simulated ([`precheck`]); the `repro verify`
+//! target runs the full static suite, including seeded-misconfiguration
+//! negative controls. See `VERIFICATION.md`.
 
 pub mod figures;
+pub mod precheck;
 
 pub use figures::{
     fig5_panel, fig6_panel, isolation_matrix, pktsize_sweep, vf_count_table, Fig5Panel, Fig6Panel,

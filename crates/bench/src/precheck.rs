@@ -1,0 +1,84 @@
+//! Static pre-flight verification of deployments before simulation.
+//!
+//! Every scenario the reproduction harness is about to simulate is first
+//! passed through the `mts-isocheck` header-space analysis: a
+//! compartmentalized configuration that fails isolation or complete
+//! mediation aborts the run *before* a single packet moves, with the
+//! verifier's counterexample in the panic message. Baseline configurations
+//! are analyzed informationally only (they share one datapath by design and
+//! have no mediation guarantee to verify; see `VERIFICATION.md`).
+//!
+//! Verdicts are memoized per configuration label, so sweeps that revisit
+//! the same spec (repetitions, packet-size ladders) pay the analysis cost
+//! once.
+
+use mts_core::spec::DeploymentSpec;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+static VERIFIED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+
+/// Statically verifies isolation and complete mediation for `spec`.
+///
+/// Returns `Err` with a rendered report if the configuration is
+/// compartmentalized and the analysis finds a violation, or if the analysis
+/// itself cannot run (undeployable spec, domain overflow).
+pub fn precheck(spec: DeploymentSpec) -> Result<(), String> {
+    let label = spec.label();
+    if VERIFIED.lock().map(|s| s.contains(&label)).unwrap_or(false) {
+        return Ok(());
+    }
+    let report = match mts_isocheck::verify_spec(spec) {
+        Ok(r) => r,
+        // An undeployable spec is not a verification failure: the simulation
+        // path reports the same deploy error and skips the configuration.
+        Err(mts_isocheck::VerifyError::Deploy(_)) => return Ok(()),
+        Err(e @ mts_isocheck::VerifyError::Domain(_)) => {
+            return Err(format!("{label}: static verification could not run: {e}"));
+        }
+    };
+    if !report.informational && !report.is_clean() {
+        return Err(format!("static verification failed for {label}:\n{report}"));
+    }
+    if let Ok(mut s) = VERIFIED.lock() {
+        s.insert(label);
+    }
+    Ok(())
+}
+
+/// [`precheck`], panicking on failure: the harness must not start a
+/// simulation on a configuration that fails static verification.
+pub fn precheck_or_panic(spec: DeploymentSpec) {
+    if let Err(e) = precheck(spec) {
+        panic!("{e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mts_core::spec::{Scenario, SecurityLevel};
+    use mts_host::ResourceMode;
+    use mts_vswitch::DatapathKind;
+
+    #[test]
+    fn shipped_specs_pass_and_memoize() {
+        let spec = DeploymentSpec::mts(
+            SecurityLevel::Level1,
+            DatapathKind::Kernel,
+            ResourceMode::Shared,
+            Scenario::P2v,
+        );
+        precheck(spec).unwrap();
+        // Second call hits the memo (still Ok).
+        precheck(spec).unwrap();
+        assert!(VERIFIED.lock().unwrap().contains(&spec.label()));
+    }
+
+    #[test]
+    fn baseline_is_not_blocked() {
+        let spec =
+            DeploymentSpec::baseline(DatapathKind::Kernel, ResourceMode::Shared, 1, Scenario::P2v);
+        precheck(spec).unwrap();
+    }
+}

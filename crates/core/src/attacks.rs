@@ -260,9 +260,10 @@ fn flow_rule_misconfiguration(spec: DeploymentSpec) -> Result<AttackOutcome, Dep
     let unmatched_ip = Ipv4Addr::new(10, 99, 99, 99);
 
     let inst = &mut d.vswitches[comp];
-    inst.sw
-        .install(0, FlowRule::new(1, FlowMatch::any(), vec![Action::Normal]))
-        .expect("table 0 exists");
+    crate::controller::install0(
+        &mut inst.sw,
+        FlowRule::new(1, FlowMatch::any(), vec![Action::Normal]),
+    );
 
     if spec.level.compartmentalized() {
         // Attacker frame enters via its gateway port and floods.
@@ -537,6 +538,14 @@ mod tests {
         let base = evaluate(baseline()).unwrap();
         assert!(!base.outcome(Attack::DatapathExploit).unwrap().blocked);
     }
+
+    // The attacks above *execute* against the simulated datapath. The
+    // `mts-isocheck` header-space analysis proves the same properties
+    // statically, before a single packet moves; the bridge between the two
+    // views lives in `tests/static_attacks.rs` (an integration test, because
+    // the dev-dependency cycle mts-core <-> mts-isocheck means the inline
+    // test harness and mts-isocheck link *different* builds of this crate,
+    // so their types would not unify here).
 
     #[test]
     fn ladder_is_monotone_in_blocked_attacks() {

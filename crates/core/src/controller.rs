@@ -15,7 +15,7 @@ use crate::vfplan::AddressPlan;
 use mts_net::MacAddr;
 use mts_nic::{FilterRule, NicError, NicModel, PfId, PortClass, SriovNic, VfConfig, VfId};
 use mts_vswitch::{Action, DatapathCosts, FlowMatch, FlowRule, PortKind, PortNo, VirtualSwitch};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// What backs a vswitch port in the runtime.
@@ -39,13 +39,13 @@ pub struct VswitchInstance {
     /// In/Out ports per physical port index (MTS).
     pub in_out: Vec<PortNo>,
     /// Gateway ports: `(tenant, physical port) -> port` (MTS).
-    pub gw: HashMap<(u8, u8), PortNo>,
+    pub gw: BTreeMap<(u8, u8), PortNo>,
     /// Physical ports per physical port index (Baseline).
     pub phys: Vec<PortNo>,
     /// Vhost ports: `(tenant, side) -> port` (Baseline).
-    pub vhost: HashMap<(u8, u8), PortNo>,
+    pub vhost: BTreeMap<(u8, u8), PortNo>,
     /// Attachment of every port.
-    pub attach: HashMap<PortNo, PortAttach>,
+    pub attach: BTreeMap<PortNo, PortAttach>,
     /// Proxy-ARP table: gateway IPs this vswitch answers ARP requests for
     /// (the paper's alternative to static tenant ARP entries, Sec. 3.2).
     pub proxy_arp: Vec<(std::net::Ipv4Addr, MacAddr)>,
@@ -92,6 +92,22 @@ impl From<NicError> for DeployError {
     fn from(e: NicError) -> Self {
         DeployError::Nic(e)
     }
+}
+
+/// Installs a rule into a pipeline table that is known to exist.
+///
+/// Tables `0..NUM_TABLES` always exist, so the controller treats an
+/// installation failure as a programming error rather than threading a
+/// `Result` through every rule helper.
+pub(crate) fn install_at(sw: &mut VirtualSwitch, table: u8, rule: FlowRule) {
+    if sw.install(table, rule).is_err() {
+        unreachable!("pipeline table {table} exists");
+    }
+}
+
+/// [`install_at`] for table 0, where the controller puts most rules.
+pub(crate) fn install0(sw: &mut VirtualSwitch, rule: FlowRule) {
+    install_at(sw, 0, rule);
 }
 
 /// The centralized controller.
@@ -157,10 +173,10 @@ impl Controller {
                     index: c.index,
                     sw: VirtualSwitch::new("placeholder"),
                     in_out: Vec::new(),
-                    gw: HashMap::new(),
+                    gw: BTreeMap::new(),
                     phys: Vec::new(),
-                    vhost: HashMap::new(),
-                    attach: HashMap::new(),
+                    vhost: BTreeMap::new(),
+                    attach: BTreeMap::new(),
                     proxy_arp: Vec::new(),
                 };
                 // The compartment answers ARP for its tenants' gateways.
@@ -190,10 +206,10 @@ impl Controller {
                 index: 0,
                 sw: VirtualSwitch::new("placeholder"),
                 in_out: Vec::new(),
-                gw: HashMap::new(),
+                gw: BTreeMap::new(),
                 phys: Vec::new(),
-                vhost: HashMap::new(),
-                attach: HashMap::new(),
+                vhost: BTreeMap::new(),
+                attach: BTreeMap::new(),
                 proxy_arp: Vec::new(),
             };
             for p in 0..ports {
@@ -308,26 +324,22 @@ impl Controller {
         let (sink, lg) = (d.plan.sink_mac, d.plan.lg_mac);
         let inst = &mut d.vswitches[0];
         let (p0, p1) = (inst.phys[0], inst.phys[1]);
-        inst.sw
-            .install(
-                0,
-                FlowRule::new(
-                    10,
-                    FlowMatch::on_port(p0),
-                    vec![Action::SetEthDst(sink), Action::Output(p1)],
-                ),
-            )
-            .expect("table 0 exists");
-        inst.sw
-            .install(
-                0,
-                FlowRule::new(
-                    10,
-                    FlowMatch::on_port(p1),
-                    vec![Action::SetEthDst(lg), Action::Output(p0)],
-                ),
-            )
-            .expect("table 0 exists");
+        install0(
+            &mut inst.sw,
+            FlowRule::new(
+                10,
+                FlowMatch::on_port(p0),
+                vec![Action::SetEthDst(sink), Action::Output(p1)],
+            ),
+        );
+        install0(
+            &mut inst.sw,
+            FlowRule::new(
+                10,
+                FlowMatch::on_port(p1),
+                vec![Action::SetEthDst(lg), Action::Output(p0)],
+            ),
+        );
         Ok(())
     }
 
@@ -339,28 +351,24 @@ impl Controller {
             let va = inst.vhost[&(t.index, 0)];
             let vb = inst.vhost[&(t.index, 1)];
             let cookie = u64::from(t.index) + 1;
-            inst.sw
-                .install(
-                    0,
-                    FlowRule::new(
-                        20,
-                        FlowMatch::to_ip(t.ip).and_port(p0),
-                        vec![Action::Output(va)],
-                    )
-                    .with_cookie(cookie),
+            install0(
+                &mut inst.sw,
+                FlowRule::new(
+                    20,
+                    FlowMatch::to_ip(t.ip).and_port(p0),
+                    vec![Action::Output(va)],
                 )
-                .expect("table 0 exists");
-            inst.sw
-                .install(
-                    0,
-                    FlowRule::new(
-                        20,
-                        FlowMatch::to_ip(t.ip).and_port(vb),
-                        vec![Action::SetEthDst(d.plan.sink_mac), Action::Output(p1)],
-                    )
-                    .with_cookie(cookie),
+                .with_cookie(cookie),
+            );
+            install0(
+                &mut inst.sw,
+                FlowRule::new(
+                    20,
+                    FlowMatch::to_ip(t.ip).and_port(vb),
+                    vec![Action::SetEthDst(d.plan.sink_mac), Action::Output(p1)],
                 )
-                .expect("table 0 exists");
+                .with_cookie(cookie),
+            );
         }
         Ok(())
     }
@@ -379,38 +387,32 @@ impl Controller {
             let q_b = inst.vhost[&(partner, 1)];
             let _ = q_a;
             // Wire -> first tenant.
-            inst.sw
-                .install(
-                    0,
-                    FlowRule::new(
-                        20,
-                        FlowMatch::to_ip(t.ip).and_port(p0),
-                        vec![Action::Output(t_a)],
-                    ),
-                )
-                .expect("table 0 exists");
+            install0(
+                &mut inst.sw,
+                FlowRule::new(
+                    20,
+                    FlowMatch::to_ip(t.ip).and_port(p0),
+                    vec![Action::Output(t_a)],
+                ),
+            );
             // First tenant's far side -> partner tenant.
-            inst.sw
-                .install(
-                    0,
-                    FlowRule::new(
-                        20,
-                        FlowMatch::to_ip(t.ip).and_port(t_b),
-                        vec![Action::Output(q_b)],
-                    ),
-                )
-                .expect("table 0 exists");
+            install0(
+                &mut inst.sw,
+                FlowRule::new(
+                    20,
+                    FlowMatch::to_ip(t.ip).and_port(t_b),
+                    vec![Action::Output(q_b)],
+                ),
+            );
             // Partner tenant's near side -> out.
-            inst.sw
-                .install(
-                    0,
-                    FlowRule::new(
-                        20,
-                        FlowMatch::to_ip(t.ip).and_port(q_a),
-                        vec![Action::SetEthDst(sink), Action::Output(p1)],
-                    ),
-                )
-                .expect("table 0 exists");
+            install0(
+                &mut inst.sw,
+                FlowRule::new(
+                    20,
+                    FlowMatch::to_ip(t.ip).and_port(q_a),
+                    vec![Action::SetEthDst(sink), Action::Output(p1)],
+                ),
+            );
         }
         Ok(())
     }
@@ -419,26 +421,22 @@ impl Controller {
         let (sink, lg) = (d.plan.sink_mac, d.plan.lg_mac);
         for inst in &mut d.vswitches {
             let (i0, i1) = (inst.in_out[0], inst.in_out[1]);
-            inst.sw
-                .install(
-                    0,
-                    FlowRule::new(
-                        10,
-                        FlowMatch::on_port(i0),
-                        vec![Action::SetEthDst(sink), Action::Output(i1)],
-                    ),
-                )
-                .expect("table 0 exists");
-            inst.sw
-                .install(
-                    0,
-                    FlowRule::new(
-                        10,
-                        FlowMatch::on_port(i1),
-                        vec![Action::SetEthDst(lg), Action::Output(i0)],
-                    ),
-                )
-                .expect("table 0 exists");
+            install0(
+                &mut inst.sw,
+                FlowRule::new(
+                    10,
+                    FlowMatch::on_port(i0),
+                    vec![Action::SetEthDst(sink), Action::Output(i1)],
+                ),
+            );
+            install0(
+                &mut inst.sw,
+                FlowRule::new(
+                    10,
+                    FlowMatch::on_port(i1),
+                    vec![Action::SetEthDst(lg), Action::Output(i0)],
+                ),
+            );
         }
         Ok(())
     }
@@ -456,30 +454,26 @@ impl Controller {
                 let cookie = u64::from(t) + 1;
                 // Ingress chain (Fig. 3a): rewrite to the tenant VF's MAC
                 // and emit on the tenant's gateway port.
-                inst.sw
-                    .install(
-                        0,
-                        FlowRule::new(
-                            20,
-                            FlowMatch::to_ip(ta.ip).and_port(i0),
-                            vec![Action::SetEthDst(t_mac0), Action::Output(inst.gw[&(t, 0)])],
-                        )
-                        .with_cookie(cookie),
+                install0(
+                    &mut inst.sw,
+                    FlowRule::new(
+                        20,
+                        FlowMatch::to_ip(ta.ip).and_port(i0),
+                        vec![Action::SetEthDst(t_mac0), Action::Output(inst.gw[&(t, 0)])],
                     )
-                    .expect("table 0 exists");
+                    .with_cookie(cookie),
+                );
                 // Egress chain (Fig. 3b): from the far-side gateway port,
                 // rewrite to the external gateway/sink and emit In/Out.
-                inst.sw
-                    .install(
-                        0,
-                        FlowRule::new(
-                            20,
-                            FlowMatch::to_ip(ta.ip).and_port(inst.gw[&(t, 1)]),
-                            vec![Action::SetEthDst(plan.sink_mac), Action::Output(i1)],
-                        )
-                        .with_cookie(cookie),
+                install0(
+                    &mut inst.sw,
+                    FlowRule::new(
+                        20,
+                        FlowMatch::to_ip(ta.ip).and_port(inst.gw[&(t, 1)]),
+                        vec![Action::SetEthDst(plan.sink_mac), Action::Output(i1)],
                     )
-                    .expect("table 0 exists");
+                    .with_cookie(cookie),
+                );
                 let _ = comp;
             }
         }
@@ -500,42 +494,36 @@ impl Controller {
                 let (_, t_mac0) = ta.vf[0];
                 let (_, p_mac1) = pa.vf[1];
                 // Wire -> first tenant (port-0 side).
-                inst.sw
-                    .install(
-                        0,
-                        FlowRule::new(
-                            20,
-                            FlowMatch::to_ip(ta.ip).and_port(i0),
-                            vec![Action::SetEthDst(t_mac0), Action::Output(inst.gw[&(t, 0)])],
-                        ),
-                    )
-                    .expect("table 0 exists");
+                install0(
+                    &mut inst.sw,
+                    FlowRule::new(
+                        20,
+                        FlowMatch::to_ip(ta.ip).and_port(i0),
+                        vec![Action::SetEthDst(t_mac0), Action::Output(inst.gw[&(t, 0)])],
+                    ),
+                );
                 // Back from the first tenant (port-1 side) -> partner
                 // tenant (port-1 side).
-                inst.sw
-                    .install(
-                        0,
-                        FlowRule::new(
-                            20,
-                            FlowMatch::to_ip(ta.ip).and_port(inst.gw[&(t, 1)]),
-                            vec![
-                                Action::SetEthDst(p_mac1),
-                                Action::Output(inst.gw[&(partner, 1)]),
-                            ],
-                        ),
-                    )
-                    .expect("table 0 exists");
+                install0(
+                    &mut inst.sw,
+                    FlowRule::new(
+                        20,
+                        FlowMatch::to_ip(ta.ip).and_port(inst.gw[&(t, 1)]),
+                        vec![
+                            Action::SetEthDst(p_mac1),
+                            Action::Output(inst.gw[&(partner, 1)]),
+                        ],
+                    ),
+                );
                 // Back from the partner (port-0 side) -> out.
-                inst.sw
-                    .install(
-                        0,
-                        FlowRule::new(
-                            20,
-                            FlowMatch::to_ip(ta.ip).and_port(inst.gw[&(partner, 0)]),
-                            vec![Action::SetEthDst(plan.sink_mac), Action::Output(i1)],
-                        ),
-                    )
-                    .expect("table 0 exists");
+                install0(
+                    &mut inst.sw,
+                    FlowRule::new(
+                        20,
+                        FlowMatch::to_ip(ta.ip).and_port(inst.gw[&(partner, 0)]),
+                        vec![Action::SetEthDst(plan.sink_mac), Action::Output(i1)],
+                    ),
+                );
             }
         }
         Ok(())
@@ -546,8 +534,8 @@ impl Controller {
     /// Level-2 with 4 compartments has singleton compartments: like the
     /// paper ("we could not evaluate 4 vswitch VMs in the v2v topology"),
     /// this is unsupported.
-    pub fn v2v_pairs(spec: &DeploymentSpec) -> Result<HashMap<u8, u8>, DeployError> {
-        let mut pairs = HashMap::new();
+    pub fn v2v_pairs(spec: &DeploymentSpec) -> Result<BTreeMap<u8, u8>, DeployError> {
+        let mut pairs = BTreeMap::new();
         for c in 0..spec.compartments() {
             let members = spec.tenants_of_compartment(c);
             if members.len() < 2 || !members.len().is_multiple_of(2) {
@@ -589,52 +577,44 @@ impl Controller {
                         Some(partner) if Self::is_v2v_server(&spec, t.index) => {
                             let fa = inst.vhost[&(partner, 0)];
                             let fb = inst.vhost[&(partner, 1)];
-                            inst.sw
-                                .install(
-                                    0,
-                                    FlowRule::new(
-                                        20,
-                                        FlowMatch::to_ip(t.ip).and_port(p0),
-                                        vec![Action::Output(fa)],
-                                    ),
-                                )
-                                .expect("table 0 exists");
-                            inst.sw
-                                .install(
-                                    0,
-                                    FlowRule::new(
-                                        20,
-                                        FlowMatch::to_ip(t.ip).and_port(fb),
-                                        vec![Action::Output(va)],
-                                    ),
-                                )
-                                .expect("table 0 exists");
+                            install0(
+                                &mut inst.sw,
+                                FlowRule::new(
+                                    20,
+                                    FlowMatch::to_ip(t.ip).and_port(p0),
+                                    vec![Action::Output(fa)],
+                                ),
+                            );
+                            install0(
+                                &mut inst.sw,
+                                FlowRule::new(
+                                    20,
+                                    FlowMatch::to_ip(t.ip).and_port(fb),
+                                    vec![Action::Output(va)],
+                                ),
+                            );
                         }
                         Some(_) => {} // forwarder tenants host no service
                         None => {
-                            inst.sw
-                                .install(
-                                    0,
-                                    FlowRule::new(
-                                        20,
-                                        FlowMatch::to_ip(t.ip).and_port(p0),
-                                        vec![Action::Output(va)],
-                                    ),
-                                )
-                                .expect("table 0 exists");
+                            install0(
+                                &mut inst.sw,
+                                FlowRule::new(
+                                    20,
+                                    FlowMatch::to_ip(t.ip).and_port(p0),
+                                    vec![Action::Output(va)],
+                                ),
+                            );
                         }
                     }
                     // Replies to any external client go straight out.
-                    inst.sw
-                        .install(
-                            0,
-                            FlowRule::new(
-                                15,
-                                FlowMatch::on_port(va),
-                                vec![Action::SetEthDst(plan.lg_mac), Action::Output(p0)],
-                            ),
-                        )
-                        .expect("table 0 exists");
+                    install0(
+                        &mut inst.sw,
+                        FlowRule::new(
+                            15,
+                            FlowMatch::on_port(va),
+                            vec![Action::SetEthDst(plan.lg_mac), Action::Output(p0)],
+                        ),
+                    );
                 }
             }
             _ => {
@@ -648,63 +628,54 @@ impl Controller {
                                 let fa = &plan.tenants[partner as usize];
                                 let (_, f_mac) = fa.vf[0];
                                 // LG -> forwarder.
-                                inst.sw
-                                    .install(
-                                        0,
-                                        FlowRule::new(
-                                            20,
-                                            FlowMatch::to_ip(ta.ip).and_port(i0),
-                                            vec![
-                                                Action::SetEthDst(f_mac),
-                                                Action::Output(inst.gw[&(partner, 0)]),
-                                            ],
-                                        ),
-                                    )
-                                    .expect("table 0 exists");
+                                install0(
+                                    &mut inst.sw,
+                                    FlowRule::new(
+                                        20,
+                                        FlowMatch::to_ip(ta.ip).and_port(i0),
+                                        vec![
+                                            Action::SetEthDst(f_mac),
+                                            Action::Output(inst.gw[&(partner, 0)]),
+                                        ],
+                                    ),
+                                );
                                 // Forwarder -> server.
-                                inst.sw
-                                    .install(
-                                        0,
-                                        FlowRule::new(
-                                            20,
-                                            FlowMatch::to_ip(ta.ip)
-                                                .and_port(inst.gw[&(partner, 0)]),
-                                            vec![
-                                                Action::SetEthDst(t_mac),
-                                                Action::Output(inst.gw[&(t, 0)]),
-                                            ],
-                                        ),
-                                    )
-                                    .expect("table 0 exists");
+                                install0(
+                                    &mut inst.sw,
+                                    FlowRule::new(
+                                        20,
+                                        FlowMatch::to_ip(ta.ip).and_port(inst.gw[&(partner, 0)]),
+                                        vec![
+                                            Action::SetEthDst(t_mac),
+                                            Action::Output(inst.gw[&(t, 0)]),
+                                        ],
+                                    ),
+                                );
                             }
                             Some(_) => {}
                             None => {
-                                inst.sw
-                                    .install(
-                                        0,
-                                        FlowRule::new(
-                                            20,
-                                            FlowMatch::to_ip(ta.ip).and_port(i0),
-                                            vec![
-                                                Action::SetEthDst(t_mac),
-                                                Action::Output(inst.gw[&(t, 0)]),
-                                            ],
-                                        ),
-                                    )
-                                    .expect("table 0 exists");
+                                install0(
+                                    &mut inst.sw,
+                                    FlowRule::new(
+                                        20,
+                                        FlowMatch::to_ip(ta.ip).and_port(i0),
+                                        vec![
+                                            Action::SetEthDst(t_mac),
+                                            Action::Output(inst.gw[&(t, 0)]),
+                                        ],
+                                    ),
+                                );
                             }
                         }
                         // Replies to any external client.
-                        inst.sw
-                            .install(
-                                0,
-                                FlowRule::new(
-                                    15,
-                                    FlowMatch::on_port(inst.gw[&(t, 0)]),
-                                    vec![Action::SetEthDst(plan.lg_mac), Action::Output(i0)],
-                                ),
-                            )
-                            .expect("table 0 exists");
+                        install0(
+                            &mut inst.sw,
+                            FlowRule::new(
+                                15,
+                                FlowMatch::on_port(inst.gw[&(t, 0)]),
+                                vec![Action::SetEthDst(plan.lg_mac), Action::Output(i0)],
+                            ),
+                        );
                     }
                 }
             }

@@ -14,7 +14,7 @@
 //! measurement probes in VXLAN envelopes so the whole chain is exercised
 //! end to end.
 
-use crate::controller::{DeployError, Deployment};
+use crate::controller::{install0, install_at, DeployError, Deployment};
 use crate::runtime::{wire_inject, Sim, World};
 use crate::spec::SecurityLevel;
 use mts_net::IpProto;
@@ -77,59 +77,54 @@ pub fn install_overlay_rules(d: &mut Deployment, cfg: OverlayConfig) -> Result<(
         let comp = &plan.compartments[inst.index as usize];
         let (_, out_mac) = comp.in_out[1];
         // Table 0: decapsulate VXLAN arriving on the fabric side.
-        inst.sw
-            .install(
-                0,
-                FlowRule::new(
-                    30,
-                    FlowMatch {
-                        in_port: Some(i0),
-                        ip_proto: Some(IpProto::Udp),
-                        l4_dst: Some(VXLAN_UDP_PORT),
-                        ..FlowMatch::default()
-                    },
-                    vec![Action::VxlanDecap, Action::GotoTable(TableId(1))],
-                ),
-            )
-            .expect("table 0 exists");
+        install0(
+            &mut inst.sw,
+            FlowRule::new(
+                30,
+                FlowMatch {
+                    in_port: Some(i0),
+                    ip_proto: Some(IpProto::Udp),
+                    l4_dst: Some(VXLAN_UDP_PORT),
+                    ..FlowMatch::default()
+                },
+                vec![Action::VxlanDecap, Action::GotoTable(TableId(1))],
+            ),
+        );
         for t in spec.tenants_of_compartment(inst.index) {
             let ta = &plan.tenants[t as usize];
             let (_, t_mac0) = ta.vf[0];
             let cookie = u64::from(t) + 1;
             // Table 1: tunnel id + inner destination → tenant VM (Fig. 3a
             // with the tunnel id in play).
-            inst.sw
-                .install(
-                    1,
-                    FlowRule::new(
-                        20,
-                        FlowMatch::to_ip(ta.ip).and_tun(cfg.vni(t)),
-                        vec![Action::SetEthDst(t_mac0), Action::Output(inst.gw[&(t, 0)])],
-                    )
-                    .with_cookie(cookie),
+            install_at(
+                &mut inst.sw,
+                1,
+                FlowRule::new(
+                    20,
+                    FlowMatch::to_ip(ta.ip).and_tun(cfg.vni(t)),
+                    vec![Action::SetEthDst(t_mac0), Action::Output(inst.gw[&(t, 0)])],
                 )
-                .expect("table 1 exists");
+                .with_cookie(cookie),
+            );
             // Egress: re-encapsulate towards the remote VTEP.
-            inst.sw
-                .install(
-                    0,
-                    FlowRule::new(
-                        20,
-                        FlowMatch::to_ip(ta.ip).and_port(inst.gw[&(t, 1)]),
-                        vec![
-                            Action::VxlanEncap {
-                                vni: cfg.vni(t),
-                                src_ip: cfg.local_vtep,
-                                dst_ip: cfg.remote_vtep,
-                                src_mac: out_mac,
-                                dst_mac: plan.sink_mac,
-                            },
-                            Action::Output(i1),
-                        ],
-                    )
-                    .with_cookie(cookie),
+            install0(
+                &mut inst.sw,
+                FlowRule::new(
+                    20,
+                    FlowMatch::to_ip(ta.ip).and_port(inst.gw[&(t, 1)]),
+                    vec![
+                        Action::VxlanEncap {
+                            vni: cfg.vni(t),
+                            src_ip: cfg.local_vtep,
+                            dst_ip: cfg.remote_vtep,
+                            src_mac: out_mac,
+                            dst_mac: plan.sink_mac,
+                        },
+                        Action::Output(i1),
+                    ],
                 )
-                .expect("table 0 exists");
+                .with_cookie(cookie),
+            );
         }
     }
     Ok(())

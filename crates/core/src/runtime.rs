@@ -727,6 +727,7 @@ pub fn vswitch_rx(
     let grant = w
         .cores
         .get_mut(core_id)
+        // lint:allow(no-unwrap): vswitch cores are allocated at deploy time
         .expect("vswitch core exists")
         .acquire(ready, user, cost);
     e.schedule_at(grant.end, move |w, e| {
@@ -800,6 +801,7 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
     } else {
         w.cores
             .get_mut(core)
+            // lint:allow(no-unwrap): vswitch cores are allocated at deploy time
             .expect("vswitch core exists")
             .acquire(now, user, extra)
             .end
@@ -894,6 +896,7 @@ pub fn tenant_rx(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Frame) {
             let grant = w
                 .cores
                 .get_mut(core)
+                // lint:allow(no-unwrap): tenant cores are allocated at deploy time
                 .expect("tenant core exists")
                 .acquire(now, user, cost);
             e.schedule_at(grant.end, move |w, e| tenant_fwd_exec(w, e, t, side, frame));
@@ -906,6 +909,7 @@ pub fn tenant_rx(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Frame) {
             let grant = w
                 .cores
                 .get_mut(core)
+                // lint:allow(no-unwrap): tenant cores are allocated at deploy time
                 .expect("tenant core exists")
                 .acquire(ready, user, cost);
             e.schedule_at(grant.end, move |w, e| {

@@ -245,6 +245,7 @@ pub fn host_rx(w: &mut World, e: &mut Sim, h: usize, frame: Frame) {
         Some(cores) => {
             let core = cores[(frame.flow_hash() % 2) as usize];
             let cost = host.per_segment / crate::runtime::tso_factor(&frame);
+            // lint:allow(no-unwrap): host cores are allocated at deploy time
             let grant = w.cores.get_mut(core).expect("host core exists").acquire(
                 now,
                 0x3000 + h as u64,
@@ -410,6 +411,7 @@ fn run_app(w: &mut World, e: &mut Sim, h: usize, events: Vec<AppEvent>) -> Vec<(
         // Phase 1: call the app with a buffered context.
         let (cmds, latencies, counts, cpu) = {
             let host = &mut w.hosts[h];
+            // lint:allow(no-unwrap): the app is re-stored before returning
             let mut app = host.app.take().expect("app present");
             let mut ctx = CtxBuf {
                 cmds: Vec::new(),
@@ -445,6 +447,7 @@ fn run_app(w: &mut World, e: &mut Sim, h: usize, events: Vec<AppEvent>) -> Vec<(
             if let Some(cores) = w.hosts[h].cores {
                 w.cores
                     .get_mut(cores[0])
+                    // lint:allow(no-unwrap): host cores are allocated at deploy time
                     .expect("host core exists")
                     .acquire(now, 0x3000 + h as u64, cpu);
             }
@@ -545,6 +548,7 @@ fn emit_segments(w: &mut World, e: &mut Sim, h: usize, emits: Vec<(Quad, TcpSegm
                 None
             } else {
                 host.arp_in_flight = true;
+                // lint:allow(no-unwrap): guarded by the gw_ip check above
                 let gw_ip = host.gw_ip.expect("checked above");
                 let req = mts_net::ArpPacket::request(host.mac, host.ip, gw_ip);
                 Some((Frame::arp(host.mac, req), host.attach))
@@ -573,6 +577,7 @@ fn emit_segments(w: &mut World, e: &mut Sim, h: usize, emits: Vec<(Quad, TcpSegm
                 let grant = w
                     .cores
                     .get_mut(cores[1])
+                    // lint:allow(no-unwrap): host cores are allocated at deploy time
                     .expect("host core exists")
                     .acquire(now, 0x3000 + h as u64, cost);
                 grant.end
@@ -770,6 +775,7 @@ pub fn export_tcp_metrics(w: &mut World) {
         .iter()
         .map(|host| {
             let mut agg = mts_tcp::ConnStats::default();
+            // lint:allow(hashmap-iter): commutative += aggregation, order-insensitive
             for c in host.conns.values() {
                 let s = c.conn.stats();
                 agg.retransmits += s.retransmits;

@@ -1,0 +1,908 @@
+//! Fixed-point symbolic reachability and verdict extraction.
+//!
+//! For each *source* (a tenant VM behind its VFs, or the external wire on a
+//! physical port), the engine seeds a symbolic header set at the source's
+//! NIC ingress and pushes it through the NIC-VEB / vswitch graph until the
+//! per-location reach sets stop growing. Each reach entry carries a
+//! `mediated` flag telling whether every path to it traversed a vswitch
+//! pipeline. Verdicts are predicates over the final reach map; every
+//! violated predicate is backed by a *witness*: a concrete header that is
+//! replayed through the same transfer functions to reproduce the offending
+//! path hop by hop.
+
+use crate::header::{Cube, HeaderSet};
+use crate::model::{nic_transfer, vswitch_transfer, Collector, Model, NPort, VfRole};
+use crate::report::{Stats, VerifyReport, Violation, ViolationKind, Warning, WarningKind, Witness};
+use mts_core::controller::PortAttach;
+use mts_nic::{FilterAction, PortClass};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A place a symbolic frame can be.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Loc {
+    /// Entering PF `pf`'s VEB from `port`.
+    NicIn {
+        /// Physical port index.
+        pf: u8,
+        /// VEB ingress port.
+        port: NPort,
+    },
+    /// Entering vswitch `inst` at `port`.
+    VsIn {
+        /// Vswitch index.
+        inst: usize,
+        /// Vswitch port number.
+        port: u32,
+    },
+    /// Delivered to a tenant VM's VF (terminal).
+    TenantRx {
+        /// Receiving tenant.
+        tenant: u8,
+        /// Physical port.
+        pf: u8,
+        /// VF index.
+        vf: u8,
+    },
+    /// Delivered to the host OS via the PF (terminal).
+    HostRx {
+        /// Physical port.
+        pf: u8,
+    },
+    /// Transmitted onto the physical wire (terminal).
+    WireTx {
+        /// Physical port.
+        pf: u8,
+    },
+    /// Delivered to a Baseline tenant's vhost channel (terminal).
+    VhostRx {
+        /// Receiving tenant.
+        tenant: u8,
+        /// Vhost side index.
+        side: u8,
+    },
+}
+
+/// An origin whose reachable set is analyzed independently.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Source {
+    /// A tenant VM, injecting through all of its VFs.
+    Tenant(u8),
+    /// The external fabric on one physical port. Under the documented
+    /// fabric-trust assumption it injects *untagged* frames only.
+    External(u8),
+}
+
+impl Source {
+    fn label(self) -> String {
+        match self {
+            Source::Tenant(t) => format!("tenant {t}"),
+            Source::External(p) => format!("wire pf{p}"),
+        }
+    }
+}
+
+type Reach = BTreeMap<(Loc, bool), HeaderSet>;
+
+fn seeds(m: &Model, source: Source) -> Vec<(Loc, HeaderSet)> {
+    match source {
+        Source::Tenant(t) => m
+            .tenants
+            .iter()
+            .filter(|ti| ti.index == t)
+            .flat_map(|ti| ti.vfs.iter())
+            .map(|(pf, vf, _)| {
+                (
+                    Loc::NicIn {
+                        pf: *pf,
+                        port: NPort::Vf(*vf),
+                    },
+                    HeaderSet::from_cube(m.dom.full_cube()),
+                )
+            })
+            .collect(),
+        Source::External(pf) => {
+            let mut c = m.dom.full_cube();
+            c.vlan = 1; // untagged only (fabric-trust assumption)
+            vec![(
+                Loc::NicIn {
+                    pf,
+                    port: NPort::Wire,
+                },
+                HeaderSet::from_cube(c),
+            )]
+        }
+    }
+}
+
+/// Where a NIC delivery lands in the location graph.
+fn route_nic(m: &Model, pf: u8, dst: NPort, mediated: bool) -> Option<(Loc, bool)> {
+    match dst {
+        NPort::Wire => Some((Loc::WireTx { pf }, mediated)),
+        NPort::Pf => {
+            if !m.compartmentalized {
+                // Baseline: the PF feeds the co-located vswitch.
+                for (i, vs) in m.vswitches.iter().enumerate() {
+                    for (port, a) in &vs.attach {
+                        if matches!(a, PortAttach::Pf(p) if p.0 == pf) {
+                            return Some((
+                                Loc::VsIn {
+                                    inst: i,
+                                    port: *port,
+                                },
+                                mediated,
+                            ));
+                        }
+                    }
+                }
+            }
+            Some((Loc::HostRx { pf }, mediated))
+        }
+        NPort::Vf(vf) => match m.vf_role.get(&(pf, vf)) {
+            Some(VfRole::VswitchPort { inst, port }) => Some((
+                Loc::VsIn {
+                    inst: *inst,
+                    port: *port,
+                },
+                mediated,
+            )),
+            Some(VfRole::Tenant { tenant }) => Some((
+                Loc::TenantRx {
+                    tenant: *tenant,
+                    pf,
+                    vf,
+                },
+                mediated,
+            )),
+            None => None, // configured VF nothing is attached to
+        },
+    }
+}
+
+/// Where a vswitch emission lands (everything leaving a vswitch is
+/// mediated).
+fn route_vs(m: &Model, inst: usize, port: u32) -> Option<(Loc, bool)> {
+    match m.vswitches[inst].attach.get(&port) {
+        Some(PortAttach::Vf(pf, vf)) => Some((
+            Loc::NicIn {
+                pf: pf.0,
+                port: NPort::Vf(vf.0),
+            },
+            true,
+        )),
+        Some(PortAttach::Pf(pf)) => Some((
+            Loc::NicIn {
+                pf: pf.0,
+                port: NPort::Pf,
+            },
+            true,
+        )),
+        Some(PortAttach::Vhost(t, side)) => Some((
+            Loc::VhostRx {
+                tenant: *t,
+                side: *side,
+            },
+            true,
+        )),
+        None => None,
+    }
+}
+
+fn successors(
+    m: &Model,
+    loc: Loc,
+    mediated: bool,
+    hs: &HeaderSet,
+    col: &mut Collector,
+) -> Vec<(Loc, bool, HeaderSet)> {
+    let mut out = Vec::new();
+    match loc {
+        Loc::NicIn { pf, port } => {
+            for (dst, set) in nic_transfer(m, pf, port, hs, col) {
+                if let Some((loc2, med2)) = route_nic(m, pf, dst, mediated) {
+                    out.push((loc2, med2, set));
+                }
+            }
+        }
+        Loc::VsIn { inst, port } => {
+            for (p, set) in vswitch_transfer(m, inst, port, hs, col) {
+                if let Some((loc2, med2)) = route_vs(m, inst, p) {
+                    out.push((loc2, med2, set));
+                }
+            }
+        }
+        // Terminal locations.
+        Loc::TenantRx { .. } | Loc::HostRx { .. } | Loc::WireTx { .. } | Loc::VhostRx { .. } => {}
+    }
+    out
+}
+
+/// Computes the per-location reach sets for one source to fixed point.
+fn fixed_point(m: &Model, source: Source, col: &mut Collector) -> Reach {
+    let mut reach: Reach = BTreeMap::new();
+    let mut work: VecDeque<(Loc, bool, HeaderSet)> = VecDeque::new();
+    for (loc, hs) in seeds(m, source) {
+        reach.entry((loc, false)).or_default().union(&hs);
+        work.push_back((loc, false, hs));
+    }
+    while let Some((loc, med, delta)) = work.pop_front() {
+        for (loc2, med2, hs2) in successors(m, loc, med, &delta, col) {
+            let entry = reach.entry((loc2, med2)).or_default();
+            let new = hs2.minus(entry);
+            if !new.is_empty() {
+                entry.union(&new);
+                work.push_back((loc2, med2, new));
+            }
+        }
+    }
+    reach
+}
+
+// ---------------------------------------------------------------------------
+// Verdicts
+
+struct TenantView {
+    mac_mask: u128,
+    own_vlan_mask: u32,
+    seed_locs: BTreeSet<Loc>,
+}
+
+fn tenant_view(m: &Model, t: u8) -> TenantView {
+    let mut mac_mask = 0u128;
+    let mut own_vlan_mask = 0u32;
+    let mut seed_locs = BTreeSet::new();
+    for ti in m.tenants.iter().filter(|ti| ti.index == t) {
+        for (pf, vf, mac) in &ti.vfs {
+            mac_mask |= m.dom.mac_bit(*mac);
+            seed_locs.insert(Loc::NicIn {
+                pf: *pf,
+                port: NPort::Vf(*vf),
+            });
+            if let Some(v) = m.pfs[*pf as usize].vfs.get(vf).and_then(|c| c.vlan) {
+                own_vlan_mask |= m.dom.vlan_bit(v);
+            }
+        }
+    }
+    TenantView {
+        mac_mask,
+        own_vlan_mask,
+        seed_locs,
+    }
+}
+
+/// The goal predicate of one violation kind: given a reach entry, return
+/// the violating sub-cube if any.
+fn goal_cube(
+    m: &Model,
+    view: &TenantView,
+    kind: &ViolationKind,
+    loc: &Loc,
+    mediated: bool,
+    cube: &Cube,
+) -> Option<Cube> {
+    match kind {
+        ViolationKind::CrossTenantReach { victim, .. } => match loc {
+            Loc::TenantRx { tenant, .. } if *tenant == *victim && !mediated => Some(*cube),
+            _ => None,
+        },
+        ViolationKind::UnmediatedPeerReach { tenant } => match loc {
+            Loc::TenantRx {
+                tenant: rx, pf, vf, ..
+            } if *rx == *tenant && !mediated => {
+                let mac = m.pfs[*pf as usize].vfs.get(vf).map(|c| c.mac)?;
+                let bit = m.dom.mac_bit(mac);
+                if cube.dst & bit != 0 {
+                    Some(Cube {
+                        dst: cube.dst & bit,
+                        ..*cube
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+        ViolationKind::UnmediatedEgress { .. } => match loc {
+            Loc::WireTx { .. } if !mediated => {
+                let c = Cube {
+                    dst: cube.dst & m.dom.mac_unicast(),
+                    vlan: cube.vlan & !view.own_vlan_mask,
+                    ..*cube
+                };
+                if c.is_empty() {
+                    None
+                } else {
+                    Some(c)
+                }
+            }
+            _ => None,
+        },
+        ViolationKind::UnmediatedIngress { tenant } => match loc {
+            Loc::TenantRx { tenant: rx, .. } if *rx == *tenant && !mediated => Some(*cube),
+            _ => None,
+        },
+        ViolationKind::HostReach { .. } => match loc {
+            Loc::HostRx { .. } => Some(*cube),
+            _ => None,
+        },
+        ViolationKind::SpoofableSource { .. } => {
+            if mediated || view.seed_locs.contains(loc) {
+                return None;
+            }
+            let c = Cube {
+                src: cube.src & !view.mac_mask,
+                ..*cube
+            };
+            if c.is_empty() {
+                None
+            } else {
+                Some(c)
+            }
+        }
+        ViolationKind::EnvelopeBreach { .. } => None, // checked locally, not on reach
+    }
+}
+
+fn violations_for(m: &Model, source: Source, reach: &Reach) -> Vec<Violation> {
+    let mut kinds: Vec<ViolationKind> = Vec::new();
+    let view = match source {
+        Source::Tenant(t) => tenant_view(m, t),
+        Source::External(_) => TenantView {
+            mac_mask: 0,
+            own_vlan_mask: 0,
+            seed_locs: BTreeSet::new(),
+        },
+    };
+
+    // Enumerate candidate kinds for this source.
+    match source {
+        Source::Tenant(t) => {
+            for ti in &m.tenants {
+                if ti.index != t {
+                    kinds.push(ViolationKind::CrossTenantReach {
+                        attacker: t,
+                        victim: ti.index,
+                    });
+                }
+            }
+            kinds.push(ViolationKind::UnmediatedPeerReach { tenant: t });
+            kinds.push(ViolationKind::UnmediatedEgress { tenant: t });
+            kinds.push(ViolationKind::HostReach { tenant: t });
+            kinds.push(ViolationKind::SpoofableSource { tenant: t });
+        }
+        Source::External(_) => {
+            for ti in &m.tenants {
+                kinds.push(ViolationKind::UnmediatedIngress { tenant: ti.index });
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for kind in kinds {
+        let hit = reach.iter().any(|((loc, med), hs)| {
+            hs.cubes()
+                .iter()
+                .any(|c| goal_cube(m, &view, &kind, loc, *med, c).is_some())
+        });
+        if hit {
+            let witness = find_witness(m, source, |loc, med, c| {
+                goal_cube(m, &view, &kind, loc, med, c)
+            });
+            out.push(Violation {
+                kind,
+                source: source.label(),
+                witness,
+            });
+        }
+    }
+    out
+}
+
+/// The local policy-envelope check: a tenant VF's VEB-admitted traffic must
+/// stay within "my gateway(s) or broadcast/multicast". Anything broader
+/// means tenant frames enter the switching fabric that the vswitch never
+/// mediates — a complete-mediation breach even when VLAN confinement still
+/// contains it.
+fn envelope_breaches(m: &Model) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut flagged: BTreeSet<u8> = BTreeSet::new();
+    for ti in &m.tenants {
+        for (pf, vf, _) in &ti.vfs {
+            if flagged.contains(&ti.index) {
+                break;
+            }
+            let model = &m.pfs[*pf as usize];
+            let Some(cfg) = model.vfs.get(vf) else {
+                continue;
+            };
+            // Admission policy of nic_transfer up to (not including)
+            // forwarding: spoof check, VST, then the security filters.
+            let mut cur = HeaderSet::from_cube(m.dom.full_cube());
+            if cfg.spoof_check {
+                let mut c = m.dom.full_cube();
+                c.src = m.dom.mac_bit(cfg.mac);
+                cur = cur.intersect_cube(&c);
+            }
+            if let Some(v) = cfg.vlan {
+                let mut untagged = m.dom.full_cube();
+                untagged.vlan = 1;
+                cur = cur
+                    .intersect_cube(&untagged)
+                    .rewrite(crate::header::Field::Vlan, u128::from(m.dom.vlan_bit(v)));
+            }
+            let from = NPort::Vf(*vf);
+            let mut admitted = HeaderSet::empty();
+            let mut remaining = cur;
+            let mut admitting_filter: Vec<usize> = Vec::new();
+            for (orig, rule) in &model.filters {
+                if remaining.is_empty() {
+                    break;
+                }
+                if !rule.from.matches(from.to_nic()) {
+                    continue;
+                }
+                let cube = m.filter_cube(rule);
+                let matched = remaining.intersect_cube(&cube);
+                if !matched.is_empty() {
+                    if rule.action == FilterAction::Allow {
+                        admitted.union(&matched);
+                        admitting_filter.push(*orig);
+                    }
+                    remaining.subtract_cube(&cube);
+                }
+            }
+            let default_admitted = !remaining.is_empty();
+            admitted.union(&remaining);
+
+            // Envelope: multicast/broadcast, plus the MACs of vswitch-owned
+            // VFs in the tenant's VLAN on this PF (its gateways).
+            let mut dst_ok = m.dom.mac_multicast();
+            for (id, c) in &model.vfs {
+                let vswitch_owned =
+                    matches!(m.vf_role.get(&(*pf, *id)), Some(VfRole::VswitchPort { .. }));
+                if vswitch_owned && c.vlan == cfg.vlan {
+                    dst_ok |= m.dom.mac_bit(c.mac);
+                }
+            }
+            let mut excess_cube = m.dom.full_cube();
+            excess_cube.dst = m.dom.mac_all() & !dst_ok;
+            let excess = admitted.intersect_cube(&excess_cube);
+            if let Some(c) = excess.cubes().first() {
+                let admitted_by = if default_admitted {
+                    "default-allow (no filter matched)".to_string()
+                } else {
+                    format!("allow filter(s) {admitting_filter:?}")
+                };
+                out.push(Violation {
+                    kind: ViolationKind::EnvelopeBreach { tenant: ti.index },
+                    source: format!("tenant {}", ti.index),
+                    witness: Some(Witness {
+                        injected: m.dom.concretize(c),
+                        observed: m.dom.concretize(c),
+                        path: vec![
+                            format!("pf{pf}:vf{vf} VEB ingress (tenant {})", ti.index),
+                            format!(
+                                "admitted past the security filters by {admitted_by}; \
+                                 destination is neither this tenant's gateway nor \
+                                 broadcast"
+                            ),
+                        ],
+                    }),
+                });
+                flagged.insert(ti.index);
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Witness search
+
+/// Finds a concrete witness for a goal predicate: a coarse symbolic BFS
+/// locates an abstract offending path, candidate headers are sampled from
+/// it, and each candidate is *replayed* as a singleton class through the
+/// real transfer functions until one reproduces the goal. The returned
+/// witness is therefore validated end to end.
+fn find_witness(
+    m: &Model,
+    source: Source,
+    goal: impl Fn(&Loc, bool, &Cube) -> Option<Cube>,
+) -> Option<Witness> {
+    let mut scratch = Collector::default();
+    // Phase A: coarse BFS with parent pointers.
+    type Node = (Loc, bool, Cube);
+    let mut parent: BTreeMap<Node, Node> = BTreeMap::new();
+    let mut queue: VecDeque<Node> = VecDeque::new();
+    let mut seen: BTreeSet<Node> = BTreeSet::new();
+    for (loc, hs) in seeds(m, source) {
+        for c in hs.cubes() {
+            let n = (loc, false, *c);
+            if seen.insert(n) {
+                queue.push_back(n);
+            }
+        }
+    }
+    let mut found: Option<(Node, Cube)> = None;
+    'bfs: while let Some(n) = queue.pop_front() {
+        if let Some(obs) = goal(&n.0, n.1, &n.2) {
+            found = Some((n, obs));
+            break 'bfs;
+        }
+        if seen.len() > 20_000 {
+            break;
+        }
+        let hs = HeaderSet::from_cube(n.2);
+        for (loc2, med2, hs2) in successors(m, n.0, n.1, &hs, &mut scratch) {
+            for c in hs2.cubes() {
+                let n2 = (loc2, med2, *c);
+                if seen.insert(n2) {
+                    parent.insert(n2, n);
+                    queue.push_back(n2);
+                }
+            }
+        }
+    }
+    let (goal_node, observed_cube) = found?;
+
+    // Reconstruct the abstract chain, seed first.
+    let mut chain = vec![goal_node];
+    while let Some(p) = parent.get(chain.last()?) {
+        chain.push(*p);
+    }
+    chain.reverse();
+    let seed_node = *chain.first()?;
+
+    // Phase B: sample candidate injected headers. Fields the path never
+    // rewrites keep their goal value; rewritten fields (VLAN under VST,
+    // MACs under SetEth*) are tried over the atoms seen along the chain,
+    // with "untagged" first for the VLAN (VST drops tagged VF frames).
+    let seed_cube = seed_node.2;
+    let pick = |goal_mask: u64, seed_mask: u64| -> Vec<u64> {
+        let mut v = Vec::new();
+        if goal_mask & seed_mask != 0 {
+            v.push(lowest_bit(goal_mask & seed_mask));
+        }
+        if seed_mask != 0 {
+            let b = lowest_bit(seed_mask);
+            if !v.contains(&b) {
+                v.push(b);
+            }
+        }
+        v
+    };
+    let pick128 = |goal_mask: u128, seed_mask: u128| -> Vec<u128> {
+        let mut v = Vec::new();
+        if goal_mask & seed_mask != 0 {
+            v.push(lowest_bit128(goal_mask & seed_mask));
+        }
+        if seed_mask != 0 {
+            let b = lowest_bit128(seed_mask);
+            if !v.contains(&b) {
+                v.push(b);
+            }
+        }
+        v
+    };
+    let mut vlan_opts: Vec<u32> = Vec::new();
+    if seed_cube.vlan & 1 != 0 {
+        vlan_opts.push(1); // untagged first: survives VST tagging
+    }
+    for c in &chain {
+        let b = 1u32 << c.2.vlan.trailing_zeros().min(31);
+        if c.2.vlan != 0 && seed_cube.vlan & b != 0 && !vlan_opts.contains(&b) {
+            vlan_opts.push(b);
+        }
+    }
+    let mut dst_opts = pick128(observed_cube.dst, seed_cube.dst);
+    for c in &chain {
+        if dst_opts.len() >= 4 {
+            break;
+        }
+        if c.2.dst != 0 {
+            let b = lowest_bit128(c.2.dst & seed_cube.dst);
+            if b != 0 && !dst_opts.contains(&b) {
+                dst_opts.push(b);
+            }
+        }
+    }
+    let src_opts = pick128(observed_cube.src, seed_cube.src);
+    let ether_opts = pick(u64::from(observed_cube.ether), u64::from(seed_cube.ether));
+    let ip_src_opts = pick(observed_cube.ip_src, seed_cube.ip_src);
+    let ip_dst_opts = pick(observed_cube.ip_dst, seed_cube.ip_dst);
+
+    for vlan in &vlan_opts {
+        for dst in &dst_opts {
+            for src in &src_opts {
+                for ether in &ether_opts {
+                    for ip_src in &ip_src_opts {
+                        for ip_dst in &ip_dst_opts {
+                            let h = Cube {
+                                src: *src,
+                                dst: *dst,
+                                vlan: *vlan,
+                                ether: *ether as u16,
+                                ip_src: *ip_src,
+                                ip_dst: *ip_dst,
+                            };
+                            if h.is_empty() {
+                                continue;
+                            }
+                            if let Some(w) = replay(m, seed_node.0, h, &goal) {
+                                return Some(w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Fallback: render the abstract chain (still a true path, with a
+    // representative rather than replay-validated header).
+    Some(Witness {
+        injected: m.dom.concretize(&seed_cube),
+        observed: m.dom.concretize(&observed_cube),
+        path: chain.iter().map(|n| render_loc(m, &n.0, n.1)).collect(),
+    })
+}
+
+/// Phase C: replay one concrete header from the seed location; on reaching
+/// the goal, return the hop-by-hop path.
+fn replay(
+    m: &Model,
+    seed_loc: Loc,
+    h: Cube,
+    goal: &impl Fn(&Loc, bool, &Cube) -> Option<Cube>,
+) -> Option<Witness> {
+    let mut scratch = Collector::default();
+    type Node = (Loc, bool, Cube);
+    let start: Node = (seed_loc, false, h);
+    let mut parent: BTreeMap<Node, Node> = BTreeMap::new();
+    let mut queue: VecDeque<Node> = VecDeque::new();
+    let mut seen: BTreeSet<Node> = BTreeSet::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        if let Some(obs) = goal(&n.0, n.1, &n.2) {
+            let mut chain = vec![n];
+            while let Some(p) = parent.get(chain.last()?) {
+                chain.push(*p);
+            }
+            chain.reverse();
+            return Some(Witness {
+                injected: m.dom.concretize(&h),
+                observed: m.dom.concretize(&obs),
+                path: chain.iter().map(|x| render_loc(m, &x.0, x.1)).collect(),
+            });
+        }
+        if seen.len() > 4_000 {
+            return None;
+        }
+        let hs = HeaderSet::from_cube(n.2);
+        for (loc2, med2, hs2) in successors(m, n.0, n.1, &hs, &mut scratch) {
+            for c in hs2.cubes() {
+                let n2 = (loc2, med2, *c);
+                if seen.insert(n2) {
+                    parent.insert(n2, n);
+                    queue.push_back(n2);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn render_loc(m: &Model, loc: &Loc, mediated: bool) -> String {
+    let med = if mediated { " [mediated]" } else { "" };
+    match loc {
+        Loc::NicIn { pf, port } => format!("pf{pf} VEB ingress from {port}{med}"),
+        Loc::VsIn { inst, port } => {
+            let vs = &m.vswitches[*inst];
+            let name = vs
+                .port_names
+                .get(port)
+                .cloned()
+                .unwrap_or_else(|| format!("port{port}"));
+            format!("{} ingress at {name}{med}", vs.name)
+        }
+        Loc::TenantRx { tenant, pf, vf } => {
+            format!("tenant {tenant} VM rx at pf{pf}/vf{vf}{med}")
+        }
+        Loc::HostRx { pf } => format!("host OS rx via pf{pf}{med}"),
+        Loc::WireTx { pf } => format!("wire tx on pf{pf}{med}"),
+        Loc::VhostRx { tenant, side } => format!("tenant {tenant} vhost{side} rx{med}"),
+    }
+}
+
+fn lowest_bit(mask: u64) -> u64 {
+    mask & mask.wrapping_neg()
+}
+
+fn lowest_bit128(mask: u128) -> u128 {
+    mask & mask.wrapping_neg()
+}
+
+// ---------------------------------------------------------------------------
+// Warnings
+
+fn port_class_subsumes(a: PortClass, b: PortClass) -> bool {
+    match (a, b) {
+        (PortClass::Any, _) => true,
+        (PortClass::AnyVf, PortClass::AnyVf | PortClass::Vf(_)) => true,
+        (x, y) => x == y,
+    }
+}
+
+fn warnings(m: &Model, col: &Collector) -> Vec<Warning> {
+    let mut out = Vec::new();
+
+    // Dead and shadowed NIC filters.
+    for (p, pfm) in m.pfs.iter().enumerate() {
+        for (pos, (orig, rule)) in pfm.filters.iter().enumerate() {
+            if !col.filter_hits.contains(&(p as u8, *orig)) {
+                out.push(Warning {
+                    kind: WarningKind::DeadNicFilter,
+                    detail: format!(
+                        "pf{p} filter[{orig}] (prio {} from {:?} -> {:?}) matched no \
+                         reachable traffic",
+                        rule.priority, rule.from, rule.action
+                    ),
+                    witness: None,
+                });
+            }
+            for (eorig, earlier) in pfm.filters.iter().take(pos) {
+                if port_class_subsumes(earlier.from, rule.from)
+                    && m.filter_cube(earlier).contains(&m.filter_cube(rule))
+                {
+                    out.push(Warning {
+                        kind: WarningKind::ShadowedNicFilter,
+                        detail: format!(
+                            "pf{p} filter[{orig}] (prio {} from {:?} -> {:?}) is \
+                             shadowed by filter[{eorig}] (prio {} from {:?} -> {:?})",
+                            rule.priority,
+                            rule.from,
+                            rule.action,
+                            earlier.priority,
+                            earlier.from,
+                            earlier.action
+                        ),
+                        witness: {
+                            let stolen = m.filter_cube(rule).and(&m.filter_cube(earlier));
+                            Some(m.dom.concretize(&stolen))
+                        },
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    // Dead and shadowed flow rules.
+    for (i, vs) in m.vswitches.iter().enumerate() {
+        for (t, rules) in vs.tables.iter().enumerate() {
+            for (idx, rule) in rules.iter().enumerate() {
+                if !col.rule_hits.contains(&(i, t as u8, idx)) {
+                    out.push(Warning {
+                        kind: WarningKind::DeadFlowRule,
+                        detail: format!(
+                            "{} table {t} rule[{idx}] (prio {}, cookie {:#x}) matched \
+                             no reachable traffic",
+                            vs.name, rule.priority, rule.cookie
+                        ),
+                        witness: None,
+                    });
+                }
+                for (eidx, earlier) in rules.iter().enumerate().take(idx) {
+                    if earlier.m.subsumes(&rule.m) {
+                        let (cube, _) = m.match_cube(&rule.m);
+                        out.push(Warning {
+                            kind: WarningKind::ShadowedFlowRule,
+                            detail: format!(
+                                "{} table {t} rule[{idx}] (prio {}, cookie {:#x}) is \
+                                 shadowed by rule[{eidx}] (prio {}, cookie {:#x})",
+                                vs.name,
+                                rule.priority,
+                                rule.cookie,
+                                earlier.priority,
+                                earlier.cookie
+                            ),
+                            witness: Some(m.dom.concretize(&cube)),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // VFs no frame can ever be delivered to.
+    for (p, pfm) in m.pfs.iter().enumerate() {
+        for id in pfm.vfs.keys() {
+            if !col.vf_delivered.contains(&(p as u8, *id)) {
+                out.push(Warning {
+                    kind: WarningKind::UnreachableVf,
+                    detail: format!("pf{p}/vf{id} is configured but unreachable"),
+                    witness: None,
+                });
+            }
+        }
+    }
+
+    for note in &col.notes {
+        out.push(Warning {
+            kind: WarningKind::ModelNote,
+            detail: note.clone(),
+            witness: None,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+
+/// Runs the full analysis over a model: every tenant and wire source to
+/// fixed point, verdict extraction with witnesses, then the dead/shadowed
+/// coverage pass.
+pub fn analyze(m: &Model) -> VerifyReport {
+    let mut col = Collector::default();
+    let mut violations = Vec::new();
+    let mut sources = 0usize;
+    let mut locations: BTreeSet<Loc> = BTreeSet::new();
+
+    let informational = !m.compartmentalized;
+    if informational {
+        col.notes.insert(
+            "Baseline deployment: the vswitch is co-located with the host and the NIC \
+             enforces no tenant isolation; static verdicts do not apply (see the \
+             dynamic attack analysis in mts-core::attacks)"
+                .to_string(),
+        );
+    }
+
+    let mut source_list: Vec<Source> = Vec::new();
+    for ti in &m.tenants {
+        if !ti.vfs.is_empty() {
+            source_list.push(Source::Tenant(ti.index));
+        }
+    }
+    for p in 0..m.pfs.len() {
+        source_list.push(Source::External(p as u8));
+    }
+
+    for source in source_list {
+        sources += 1;
+        let reach = fixed_point(m, source, &mut col);
+        for (loc, _) in reach.keys() {
+            locations.insert(*loc);
+        }
+        if !informational {
+            violations.extend(violations_for(m, source, &reach));
+        }
+    }
+    if !informational {
+        violations.extend(envelope_breaches(m));
+    }
+
+    let stats = Stats {
+        sources,
+        locations: locations.len(),
+        mac_atoms: m.dom.macs.len(),
+        vlan_atoms: m.dom.vlans.len(),
+        ip_atoms: m.dom.ip_starts.len(),
+        flow_rules: m
+            .vswitches
+            .iter()
+            .map(|vs| vs.tables.iter().map(Vec::len).sum::<usize>())
+            .sum(),
+        nic_filters: m.pfs.iter().map(|p| p.filters.len()).sum(),
+    };
+
+    VerifyReport {
+        label: m.label.clone(),
+        informational,
+        violations,
+        warnings: warnings(m, &col),
+        stats,
+    }
+}

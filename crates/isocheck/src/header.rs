@@ -1,0 +1,677 @@
+//! Symbolic header sets over finite, per-deployment atomized field domains.
+//!
+//! This is header-space analysis in the style of Kazemian et al., scaled to
+//! the fields the MTS datapath actually switches on. Instead of bit-vectors
+//! over raw headers, every field domain is *atomized*: the finitely many
+//! values a deployment references (plan MACs, VST VLAN ids, flow-rule
+//! prefixes, …) each become one atom, plus one representative atom for
+//! "any other" value. A packet class is then a union of [`Cube`]s, where a
+//! cube constrains each field to a bitmask of atoms. Set algebra
+//! (intersection, difference, rewrite) is exact over this atomization, so
+//! reachability verdicts are sound for every concrete header: two headers
+//! that fall into the same atom vector are treated identically by every
+//! filter, MAC table and flow rule of the deployment.
+
+use mts_net::{EtherType, MacAddr};
+use mts_vswitch::Ipv4Prefix;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Upper bounds on atom counts, fixed by the mask widths in [`Cube`].
+pub const MAX_MAC_ATOMS: usize = 128;
+/// See [`MAX_MAC_ATOMS`].
+pub const MAX_VLAN_ATOMS: usize = 32;
+/// See [`MAX_MAC_ATOMS`].
+pub const MAX_ETHER_ATOMS: usize = 16;
+/// See [`MAX_MAC_ATOMS`].
+pub const MAX_IP_ATOMS: usize = 64;
+
+/// The deployment references more distinct values than a cube mask can
+/// hold; the analysis refuses rather than silently coarsening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainOverflow {
+    /// Which field overflowed.
+    pub field: &'static str,
+    /// How many atoms it needed.
+    pub needed: usize,
+    /// The hard cap.
+    pub cap: usize,
+}
+
+impl fmt::Display for DomainOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "header-space domain overflow: {} needs {} atoms (cap {})",
+            self.field, self.needed, self.cap
+        )
+    }
+}
+
+impl std::error::Error for DomainOverflow {}
+
+/// Collects every field value a deployment references, then atomizes.
+#[derive(Default)]
+pub struct DomainsBuilder {
+    macs: BTreeSet<u64>,
+    vlans: BTreeSet<u16>,
+    ethers: Vec<EtherType>,
+    ip_bounds: BTreeSet<u64>,
+}
+
+impl DomainsBuilder {
+    /// Creates a builder pre-seeded with the values every deployment has:
+    /// broadcast, untagged/VLAN-0, IPv4 and ARP.
+    pub fn new() -> Self {
+        let mut b = DomainsBuilder::default();
+        b.add_mac(MacAddr::BROADCAST);
+        b.add_vlan(0);
+        b.add_ether(EtherType::Ipv4);
+        b.add_ether(EtherType::Arp);
+        b.ip_bounds.insert(0);
+        b.ip_bounds.insert(1 << 32);
+        b
+    }
+
+    /// Registers a MAC address as an atom.
+    pub fn add_mac(&mut self, m: MacAddr) {
+        self.macs.insert(m.as_u64());
+    }
+
+    /// Registers a VLAN id as an atom.
+    pub fn add_vlan(&mut self, v: u16) {
+        self.vlans.insert(v);
+    }
+
+    /// Registers an EtherType as an atom.
+    pub fn add_ether(&mut self, e: EtherType) {
+        if !self.ethers.contains(&e) {
+            self.ethers.push(e);
+        }
+    }
+
+    /// Registers an IPv4 prefix: its boundaries split the address space
+    /// into elementary intervals.
+    pub fn add_prefix(&mut self, p: Ipv4Prefix) {
+        let start = u64::from(u32::from(p.net));
+        let size = if p.len == 0 {
+            1u64 << 32
+        } else {
+            1u64 << (32 - p.len)
+        };
+        self.ip_bounds.insert(start);
+        self.ip_bounds.insert(start + size);
+    }
+
+    /// Registers a single IPv4 address (a `/32` interval).
+    pub fn add_ip(&mut self, a: Ipv4Addr) {
+        self.add_prefix(Ipv4Prefix::host(a));
+    }
+
+    /// Atomizes the collected values into [`Domains`].
+    pub fn build(self) -> Result<Domains, DomainOverflow> {
+        // MAC atoms: every referenced address, plus one representative each
+        // for "any other unicast" and "any other multicast" source/dest.
+        let mut macs: Vec<MacAddr> = self.macs.iter().map(|m| MacAddr::from_u64(*m)).collect();
+        let pick = |mut candidate: u64, taken: &BTreeSet<u64>, step: u64| {
+            while taken.contains(&candidate) {
+                candidate += step;
+            }
+            candidate
+        };
+        let other_uni = pick(MacAddr::local(0x00ff_ff00).as_u64(), &self.macs, 1);
+        let other_multi = pick(0x0100_5e00_0001, &self.macs, 1);
+        macs.push(MacAddr::from_u64(other_uni));
+        macs.push(MacAddr::from_u64(other_multi));
+        if macs.len() > MAX_MAC_ATOMS {
+            return Err(DomainOverflow {
+                field: "mac",
+                needed: macs.len(),
+                cap: MAX_MAC_ATOMS,
+            });
+        }
+        let mac_index: BTreeMap<u64, usize> = macs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.as_u64(), i))
+            .collect();
+        let mut multicast_mask = 0u128;
+        for (i, m) in macs.iter().enumerate() {
+            if m.is_multicast() {
+                multicast_mask |= 1 << i;
+            }
+        }
+
+        // VLAN atoms: atom 0 is untagged / VLAN 0, plus one unused id as
+        // the "any other tag" representative.
+        let mut vlans: Vec<u16> = Vec::new();
+        vlans.push(0);
+        vlans.extend(self.vlans.iter().filter(|v| **v != 0));
+        let mut other_vlan = 4000u16;
+        while self.vlans.contains(&other_vlan) {
+            other_vlan += 1;
+        }
+        vlans.push(other_vlan);
+        if vlans.len() > MAX_VLAN_ATOMS {
+            return Err(DomainOverflow {
+                field: "vlan",
+                needed: vlans.len(),
+                cap: MAX_VLAN_ATOMS,
+            });
+        }
+        let vlan_index: BTreeMap<u16, usize> =
+            vlans.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+
+        // EtherType atoms plus an "anything else" representative.
+        let mut ethers = self.ethers;
+        let mut other = 0x88b5u16;
+        while ethers.contains(&EtherType::Other(other)) {
+            other += 1;
+        }
+        ethers.push(EtherType::Other(other));
+        if ethers.len() > MAX_ETHER_ATOMS {
+            return Err(DomainOverflow {
+                field: "ethertype",
+                needed: ethers.len(),
+                cap: MAX_ETHER_ATOMS,
+            });
+        }
+
+        // IP atoms: elementary intervals between the collected boundaries.
+        let bounds: Vec<u64> = self.ip_bounds.into_iter().collect();
+        let ip_starts: Vec<u64> = bounds[..bounds.len() - 1].to_vec();
+        if ip_starts.len() > MAX_IP_ATOMS {
+            return Err(DomainOverflow {
+                field: "ipv4",
+                needed: ip_starts.len(),
+                cap: MAX_IP_ATOMS,
+            });
+        }
+
+        Ok(Domains {
+            macs,
+            mac_index,
+            multicast_mask,
+            vlans,
+            vlan_index,
+            ethers,
+            ip_starts,
+        })
+    }
+}
+
+/// The finite atomization of every header field (see the module docs).
+#[derive(Clone, Debug)]
+pub struct Domains {
+    /// Concrete representative per MAC atom.
+    pub macs: Vec<MacAddr>,
+    mac_index: BTreeMap<u64, usize>,
+    multicast_mask: u128,
+    /// VLAN id per atom; atom 0 is untagged / VLAN 0.
+    pub vlans: Vec<u16>,
+    vlan_index: BTreeMap<u16, usize>,
+    /// EtherType per atom.
+    pub ethers: Vec<EtherType>,
+    /// Interval start per IPv4 atom (intervals are contiguous and cover
+    /// the whole space; the start doubles as the representative address).
+    pub ip_starts: Vec<u64>,
+}
+
+impl Domains {
+    /// All-ones mask over the MAC atoms.
+    pub fn mac_all(&self) -> u128 {
+        mask_ones(self.macs.len())
+    }
+
+    /// All-ones mask over the VLAN atoms.
+    pub fn vlan_all(&self) -> u32 {
+        mask_ones(self.vlans.len()) as u32
+    }
+
+    /// All-ones mask over the EtherType atoms.
+    pub fn ether_all(&self) -> u16 {
+        mask_ones(self.ethers.len()) as u16
+    }
+
+    /// All-ones mask over the IPv4 atoms.
+    pub fn ip_all(&self) -> u64 {
+        mask_ones(self.ip_starts.len()) as u64
+    }
+
+    /// The atom bit of a known MAC (zero for unreferenced addresses, which
+    /// by construction cannot appear in the configuration being analyzed).
+    pub fn mac_bit(&self, m: MacAddr) -> u128 {
+        self.mac_index.get(&m.as_u64()).map_or(0, |i| 1 << i)
+    }
+
+    /// Mask of all multicast (incl. broadcast) MAC atoms.
+    pub fn mac_multicast(&self) -> u128 {
+        self.multicast_mask
+    }
+
+    /// Mask of all unicast MAC atoms.
+    pub fn mac_unicast(&self) -> u128 {
+        self.mac_all() & !self.multicast_mask
+    }
+
+    /// The atom bit of a VLAN id (tag 0 and untagged share atom 0).
+    pub fn vlan_bit(&self, v: u16) -> u32 {
+        self.vlan_index.get(&v).map_or(0, |i| 1 << i)
+    }
+
+    /// The atom bit of an EtherType.
+    pub fn ether_bit(&self, e: EtherType) -> u16 {
+        self.ethers
+            .iter()
+            .position(|x| *x == e)
+            .map_or(0, |i| 1 << i)
+    }
+
+    /// The IPv4 atom containing an address.
+    pub fn ip_bit(&self, a: Ipv4Addr) -> u64 {
+        let v = u64::from(u32::from(a));
+        let idx = self.ip_starts.partition_point(|s| *s <= v) - 1;
+        1 << idx
+    }
+
+    /// Mask of all IPv4 atoms whose interval lies within a prefix.
+    ///
+    /// Exact because every referenced prefix contributed its boundaries to
+    /// the atomization, so intervals never straddle a prefix edge.
+    pub fn ip_mask(&self, p: Ipv4Prefix) -> u64 {
+        let mut mask = 0u64;
+        for (i, s) in self.ip_starts.iter().enumerate() {
+            if p.contains(Ipv4Addr::from(*s as u32)) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// The cube constraining nothing.
+    pub fn full_cube(&self) -> Cube {
+        Cube {
+            src: self.mac_all(),
+            dst: self.mac_all(),
+            vlan: self.vlan_all(),
+            ether: self.ether_all(),
+            ip_src: self.ip_all(),
+            ip_dst: self.ip_all(),
+        }
+    }
+
+    /// Picks one concrete header from a cube (lowest atom per field).
+    pub fn concretize(&self, c: &Cube) -> ConcreteHeader {
+        let mac_at = |mask: u128| self.macs[lowest(mask as u64, (mask >> 64) as u64)];
+        let vlan_atom = c.vlan.trailing_zeros() as usize;
+        ConcreteHeader {
+            src: mac_at(c.src),
+            dst: mac_at(c.dst),
+            vlan: match self.vlans[vlan_atom] {
+                0 => None,
+                v => Some(v),
+            },
+            ethertype: self.ethers[c.ether.trailing_zeros() as usize],
+            ip_src: Ipv4Addr::from(self.ip_starts[c.ip_src.trailing_zeros() as usize] as u32),
+            ip_dst: Ipv4Addr::from(self.ip_starts[c.ip_dst.trailing_zeros() as usize] as u32),
+        }
+    }
+}
+
+fn lowest(lo: u64, hi: u64) -> usize {
+    if lo != 0 {
+        lo.trailing_zeros() as usize
+    } else {
+        64 + hi.trailing_zeros() as usize
+    }
+}
+
+fn mask_ones(n: usize) -> u128 {
+    if n >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    }
+}
+
+/// A concrete witness header sampled from a symbolic class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConcreteHeader {
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// VLAN tag (`None` = untagged).
+    pub vlan: Option<u16>,
+    /// EtherType.
+    pub ethertype: EtherType,
+    /// IPv4 source.
+    pub ip_src: Ipv4Addr,
+    /// IPv4 destination.
+    pub ip_dst: Ipv4Addr,
+}
+
+impl fmt::Display for ConcreteHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "src={} dst={} vlan={} ether={:?} ip {} -> {}",
+            self.src,
+            self.dst,
+            match self.vlan {
+                Some(v) => v.to_string(),
+                None => "none".into(),
+            },
+            self.ethertype,
+            self.ip_src,
+            self.ip_dst
+        )
+    }
+}
+
+/// One packet class: per-field atom bitmasks; the class is the Cartesian
+/// product of its fields. Empty in any field = empty class.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Cube {
+    /// Source MAC atoms.
+    pub src: u128,
+    /// Destination MAC atoms.
+    pub dst: u128,
+    /// VLAN atoms.
+    pub vlan: u32,
+    /// EtherType atoms.
+    pub ether: u16,
+    /// IPv4 source atoms.
+    pub ip_src: u64,
+    /// IPv4 destination atoms.
+    pub ip_dst: u64,
+}
+
+impl Cube {
+    /// Returns whether the class is empty.
+    pub fn is_empty(&self) -> bool {
+        self.src == 0
+            || self.dst == 0
+            || self.vlan == 0
+            || self.ether == 0
+            || self.ip_src == 0
+            || self.ip_dst == 0
+    }
+
+    /// Field-wise intersection.
+    pub fn and(&self, o: &Cube) -> Cube {
+        Cube {
+            src: self.src & o.src,
+            dst: self.dst & o.dst,
+            vlan: self.vlan & o.vlan,
+            ether: self.ether & o.ether,
+            ip_src: self.ip_src & o.ip_src,
+            ip_dst: self.ip_dst & o.ip_dst,
+        }
+    }
+
+    /// Returns whether `o` is a (non-strict) subset.
+    pub fn contains(&self, o: &Cube) -> bool {
+        o.src & !self.src == 0
+            && o.dst & !self.dst == 0
+            && o.vlan & !self.vlan == 0
+            && o.ether & !self.ether == 0
+            && o.ip_src & !self.ip_src == 0
+            && o.ip_dst & !self.ip_dst == 0
+    }
+
+    /// Appends the cubes of `self − o` to `out` (field-wise splintering).
+    pub fn minus(&self, o: &Cube, out: &mut Vec<Cube>) {
+        if self.and(o).is_empty() {
+            out.push(*self);
+            return;
+        }
+        let mut rem = *self;
+        macro_rules! peel {
+            ($f:ident) => {
+                let cut = rem.$f & !o.$f;
+                if cut != 0 {
+                    let mut part = rem;
+                    part.$f = cut;
+                    out.push(part);
+                    rem.$f &= o.$f;
+                }
+            };
+        }
+        peel!(src);
+        peel!(dst);
+        peel!(vlan);
+        peel!(ether);
+        peel!(ip_src);
+        peel!(ip_dst);
+        let _ = rem; // what remains is ⊆ o: removed
+    }
+}
+
+/// A union of cubes, pruned of empty and subsumed members.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HeaderSet {
+    cubes: Vec<Cube>,
+}
+
+impl HeaderSet {
+    /// The empty class.
+    pub fn empty() -> Self {
+        HeaderSet::default()
+    }
+
+    /// A single-cube class.
+    pub fn from_cube(c: Cube) -> Self {
+        let mut s = HeaderSet::default();
+        s.insert(c);
+        s
+    }
+
+    /// Returns whether the class is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// The member cubes.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Adds a cube, keeping the union normalized.
+    pub fn insert(&mut self, c: Cube) {
+        if c.is_empty() || self.cubes.iter().any(|e| e.contains(&c)) {
+            return;
+        }
+        self.cubes.retain(|e| !c.contains(e));
+        self.cubes.push(c);
+    }
+
+    /// Unions another class into this one.
+    pub fn union(&mut self, other: &HeaderSet) {
+        for c in &other.cubes {
+            self.insert(*c);
+        }
+    }
+
+    /// Intersection with one cube.
+    pub fn intersect_cube(&self, c: &Cube) -> HeaderSet {
+        let mut out = HeaderSet::default();
+        for e in &self.cubes {
+            out.insert(e.and(c));
+        }
+        out
+    }
+
+    /// Removes one cube from the class.
+    pub fn subtract_cube(&mut self, c: &Cube) {
+        let mut next = Vec::new();
+        for e in &self.cubes {
+            e.minus(c, &mut next);
+        }
+        let mut out = HeaderSet::default();
+        for e in next {
+            out.insert(e);
+        }
+        *self = out;
+    }
+
+    /// `self − other`, leaving both intact.
+    pub fn minus(&self, other: &HeaderSet) -> HeaderSet {
+        let mut out = self.clone();
+        for c in &other.cubes {
+            out.subtract_cube(c);
+        }
+        out
+    }
+
+    /// Rewrites a field to a fixed atom in every cube (empty target mask
+    /// empties the class — an unknown rewrite value cannot be represented).
+    pub fn rewrite(&self, field: Field, to: u128) -> HeaderSet {
+        let mut out = HeaderSet::default();
+        for e in &self.cubes {
+            let mut c = *e;
+            match field {
+                Field::Src => c.src = to,
+                Field::Dst => c.dst = to,
+                Field::Vlan => c.vlan = to as u32,
+            }
+            out.insert(c);
+        }
+        out
+    }
+}
+
+/// Rewritable fields (the actions the MTS pipelines use).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Field {
+    /// Source MAC.
+    Src,
+    /// Destination MAC.
+    Dst,
+    /// VLAN tag.
+    Vlan,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom() -> Domains {
+        let mut b = DomainsBuilder::new();
+        b.add_mac(MacAddr::local(1));
+        b.add_mac(MacAddr::local(2));
+        b.add_vlan(1);
+        b.add_vlan(2);
+        b.add_ip(Ipv4Addr::new(10, 0, 1, 1));
+        b.add_prefix(Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 16));
+        b.build().expect("small domains fit")
+    }
+
+    #[test]
+    fn atomization_covers_and_separates() {
+        let d = dom();
+        assert!(d.mac_bit(MacAddr::local(1)) != 0);
+        assert!(d.mac_bit(MacAddr::local(1)) != d.mac_bit(MacAddr::local(2)));
+        assert_eq!(d.mac_bit(MacAddr::local(99)), 0, "unreferenced MAC");
+        assert!(d.mac_multicast() & d.mac_bit(MacAddr::BROADCAST) != 0);
+        assert_eq!(d.mac_unicast() & d.mac_bit(MacAddr::BROADCAST), 0);
+        // The two "other" representatives exist and classify correctly.
+        assert!(d.macs.iter().filter(|m| m.is_multicast()).count() >= 2);
+        assert_eq!(d.vlan_bit(0), 1);
+        assert!(d.vlan_bit(1) != d.vlan_bit(2));
+        assert!(d.ether_bit(EtherType::Ipv4) != 0);
+        // IP atoms: the /32 is its own atom, inside the /16.
+        let host = d.ip_bit(Ipv4Addr::new(10, 0, 1, 1));
+        let wide = d.ip_mask(Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 16));
+        assert_eq!(host & wide, host);
+        assert!(wide.count_ones() > 1);
+        let outside = d.ip_bit(Ipv4Addr::new(192, 168, 0, 1));
+        assert_eq!(outside & wide, 0);
+        // Atoms cover the whole space.
+        assert_eq!(
+            d.ip_mask(Ipv4Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 0)),
+            d.ip_all()
+        );
+    }
+
+    #[test]
+    fn cube_algebra() {
+        let d = dom();
+        let full = d.full_cube();
+        assert!(!full.is_empty());
+        let a = Cube {
+            dst: d.mac_bit(MacAddr::local(1)),
+            ..full
+        };
+        let b = Cube {
+            vlan: d.vlan_bit(1),
+            ..full
+        };
+        let ab = a.and(&b);
+        assert!(full.contains(&ab));
+        assert!(a.contains(&ab) && b.contains(&ab));
+        let mut rest = Vec::new();
+        full.minus(&a, &mut rest);
+        // full − a leaves everything not destined to mac 1.
+        assert!(rest
+            .iter()
+            .all(|c| c.dst & d.mac_bit(MacAddr::local(1)) == 0));
+        // (full − a) ∪ a ⊇ full: subtracting then re-adding loses nothing.
+        let mut s = HeaderSet::empty();
+        for c in rest {
+            s.insert(c);
+        }
+        s.insert(a);
+        assert_eq!(s.minus(&HeaderSet::from_cube(full)), HeaderSet::empty());
+        let mut t = HeaderSet::from_cube(full);
+        t.subtract_cube(&a);
+        t.subtract_cube(&b);
+        // No cube retains mac-1 dst or vlan 1.
+        for c in t.cubes() {
+            assert_eq!(c.dst & d.mac_bit(MacAddr::local(1)), 0);
+            assert_eq!(c.vlan & d.vlan_bit(1), 0);
+        }
+    }
+
+    #[test]
+    fn headerset_normalizes() {
+        let d = dom();
+        let full = d.full_cube();
+        let sub = Cube {
+            vlan: d.vlan_bit(1),
+            ..full
+        };
+        let mut s = HeaderSet::from_cube(sub);
+        s.insert(full);
+        assert_eq!(s.cubes().len(), 1, "subsumed cube pruned");
+        assert_eq!(s.cubes()[0], full);
+        let r = s.rewrite(Field::Vlan, u128::from(d.vlan_bit(2)));
+        assert_eq!(r.cubes()[0].vlan, d.vlan_bit(2));
+    }
+
+    #[test]
+    fn concretize_picks_members() {
+        let d = dom();
+        let c = Cube {
+            dst: d.mac_bit(MacAddr::local(2)),
+            vlan: d.vlan_bit(1),
+            ip_dst: d.ip_bit(Ipv4Addr::new(10, 0, 1, 1)),
+            ..d.full_cube()
+        };
+        let h = d.concretize(&c);
+        assert_eq!(h.dst, MacAddr::local(2));
+        assert_eq!(h.vlan, Some(1));
+        assert_eq!(h.ip_dst, Ipv4Addr::new(10, 0, 1, 1));
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let mut b = DomainsBuilder::new();
+        for i in 0..200u32 {
+            b.add_mac(MacAddr::local(i));
+        }
+        let err = b.build().expect_err("200 MACs exceed the cap");
+        assert_eq!(err.field, "mac");
+    }
+}

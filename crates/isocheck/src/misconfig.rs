@@ -1,0 +1,110 @@
+//! Seeded misconfigurations for validating the analysis.
+//!
+//! Each variant injects one realistic operator mistake into an otherwise
+//! correct deployment; [`crate::verify`] must flag it with its
+//! characteristic verdict (asserted by the attack-surface tests in
+//! `mts-core` and by `repro verify`).
+
+use crate::report::{VerifyReport, ViolationKind, WarningKind};
+use mts_core::controller::Deployment;
+use mts_nic::{FilterAction, FilterRule, NicError, PortClass};
+
+/// One seedable misconfiguration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Misconfig {
+    /// A tenant VF is assigned another tenant's VST VLAN (VLAN reuse
+    /// across tenants). Characteristic verdict: cross-tenant reach.
+    VlanReuse,
+    /// MAC anti-spoofing is switched off on a tenant VF. Characteristic
+    /// verdict: spoofable source.
+    SpoofCheckOff,
+    /// An overly-broad high-priority VEB `Allow` rule is installed for a
+    /// tenant VF, defeating the gateway+broadcast whitelist.
+    /// Characteristic verdict: envelope breach (plus shadowed-filter
+    /// warnings).
+    BroadVebAllow,
+}
+
+impl Misconfig {
+    /// All variants.
+    pub const ALL: [Misconfig; 3] = [
+        Misconfig::VlanReuse,
+        Misconfig::SpoofCheckOff,
+        Misconfig::BroadVebAllow,
+    ];
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Misconfig::VlanReuse => "vlan-reuse",
+            Misconfig::SpoofCheckOff => "spoofchk-off",
+            Misconfig::BroadVebAllow => "broad-veb-allow",
+        }
+    }
+
+    /// Seeds the misconfiguration into a deployment, returning a
+    /// description of what was changed. Requires at least two tenants.
+    pub fn seed(self, d: &mut Deployment) -> Result<String, NicError> {
+        match self {
+            Misconfig::VlanReuse => {
+                let (t0_vlan, t1) = {
+                    let t0 = &d.plan.tenants[0];
+                    let t1 = &d.plan.tenants[1];
+                    (t0.vlan, t1.vf[0].0)
+                };
+                d.nic.host_set_vf_vlan(t1.pf, t1.vf, Some(t0_vlan))?;
+                Ok(format!(
+                    "tenant 1 VF {}/{} moved onto tenant 0's VLAN {t0_vlan}",
+                    t1.pf, t1.vf
+                ))
+            }
+            Misconfig::SpoofCheckOff => {
+                let r = d.plan.tenants[0].vf[0].0;
+                d.nic.host_set_vf_spoofchk(r.pf, r.vf, false)?;
+                Ok(format!(
+                    "anti-spoofing disabled on tenant 0 VF {}/{}",
+                    r.pf, r.vf
+                ))
+            }
+            Misconfig::BroadVebAllow => {
+                let r = d.plan.tenants[0].vf[0].0;
+                d.nic.pf_mut(r.pf)?.add_filter(FilterRule {
+                    priority: 60,
+                    from: PortClass::Vf(r.vf),
+                    src_mac: None,
+                    dst_mac: None,
+                    vlan: None,
+                    ethertype: None,
+                    action: FilterAction::Allow,
+                });
+                Ok(format!(
+                    "wildcard allow (prio 60) installed for tenant 0 VF {}/{}",
+                    r.pf, r.vf
+                ))
+            }
+        }
+    }
+
+    /// Whether a report contains this misconfiguration's characteristic
+    /// detection, including a concrete witness.
+    pub fn detected_in(self, report: &VerifyReport) -> bool {
+        match self {
+            Misconfig::VlanReuse => report.violations.iter().any(|v| {
+                matches!(v.kind, ViolationKind::CrossTenantReach { .. }) && v.witness.is_some()
+            }),
+            Misconfig::SpoofCheckOff => report.violations.iter().any(|v| {
+                matches!(v.kind, ViolationKind::SpoofableSource { .. }) && v.witness.is_some()
+            }),
+            Misconfig::BroadVebAllow => {
+                let breach = report.violations.iter().any(|v| {
+                    matches!(v.kind, ViolationKind::EnvelopeBreach { .. }) && v.witness.is_some()
+                });
+                let shadowed = report
+                    .warnings
+                    .iter()
+                    .any(|w| w.kind == WarningKind::ShadowedNicFilter && w.witness.is_some());
+                breach && shadowed
+            }
+        }
+    }
+}

@@ -1,0 +1,685 @@
+//! Extracting a verifiable model from a configured [`Deployment`], and the
+//! symbolic transfer functions of its two switching elements.
+//!
+//! The model is a faithful copy of exactly the state the dataplane switches
+//! on: per-PF static MAC entries, VF configurations (MAC, VST VLAN,
+//! anti-spoofing), wildcard security filters, and the per-vswitch flow
+//! pipelines with their port attachments. Learned (dynamic) MAC entries are
+//! deliberately *not* modelled — the analysis instead over-approximates
+//! what learning could ever do (see [`PfModel::injectors`]), so its verdicts
+//! hold for every possible learning history.
+
+use crate::header::{Cube, DomainOverflow, Domains, DomainsBuilder, Field, HeaderSet};
+use mts_core::controller::{Deployment, PortAttach};
+use mts_net::{EtherType, MacAddr};
+use mts_nic::{FilterAction, FilterRule, NicPort, PfId, VfConfig, VfId};
+use mts_vswitch::{Action, FlowMatch, FlowRule, VlanMatch};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A NIC switch port, ordered (unlike [`NicPort`]) so it can key maps.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum NPort {
+    /// The physical fabric port.
+    Wire,
+    /// The physical function (host OS).
+    Pf,
+    /// A virtual function.
+    Vf(u8),
+}
+
+impl NPort {
+    /// Converts to the NIC crate's port type.
+    pub fn to_nic(self) -> NicPort {
+        match self {
+            NPort::Wire => NicPort::Wire,
+            NPort::Pf => NicPort::Pf,
+            NPort::Vf(v) => NicPort::Vf(VfId(v)),
+        }
+    }
+
+    /// Converts from the NIC crate's port type.
+    pub fn from_nic(p: NicPort) -> Self {
+        match p {
+            NicPort::Wire => NPort::Wire,
+            NicPort::Pf => NPort::Pf,
+            NicPort::Vf(VfId(v)) => NPort::Vf(v),
+        }
+    }
+}
+
+impl fmt::Display for NPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.to_nic().fmt(f)
+    }
+}
+
+/// What a VF is wired to, from the controller's point of view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VfRole {
+    /// Backs a vswitch port (infrastructure or gateway VF).
+    VswitchPort {
+        /// Index into [`Model::vswitches`].
+        inst: usize,
+        /// The vswitch-side port number.
+        port: u32,
+    },
+    /// Attached to a tenant VM.
+    Tenant {
+        /// Tenant index.
+        tenant: u8,
+    },
+}
+
+/// Per-tenant identity: which VFs and MACs belong to it.
+#[derive(Clone, Debug)]
+pub struct TenantInfo {
+    /// Tenant index.
+    pub index: u8,
+    /// The tenant's VST VLAN id.
+    pub vlan: u16,
+    /// `(pf, vf, mac)` of every VF the tenant owns.
+    pub vfs: Vec<(u8, u8, MacAddr)>,
+}
+
+/// The switching state of one PF's embedded VEB.
+pub struct PfModel {
+    /// Static MAC entries `(vlan, mac, port)`.
+    pub statics: Vec<(u16, MacAddr, NPort)>,
+    /// Security filters in evaluation order (priority-descending, ties in
+    /// installation order), paired with their original installation index.
+    pub filters: Vec<(usize, FilterRule)>,
+    /// Configured VFs.
+    pub vfs: BTreeMap<u8, VfConfig>,
+}
+
+impl PfModel {
+    /// VLAN broadcast-domain members, mirroring the VEB's membership rule:
+    /// the wire always, the PF only in VLAN 0, a VF when its VST tag is
+    /// `vid` (or it is untagged and `vid` is 0).
+    pub fn members(&self, vid: u16) -> Vec<NPort> {
+        let mut out = vec![NPort::Wire];
+        if vid == 0 {
+            out.push(NPort::Pf);
+        }
+        for (id, cfg) in &self.vfs {
+            if cfg.vlan == Some(vid) || (cfg.vlan.is_none() && vid == 0) {
+                out.push(NPort::Vf(*id));
+            }
+        }
+        out
+    }
+}
+
+/// One vswitch pipeline plus its port attachments.
+pub struct VsModel {
+    /// Switch name (for witness paths).
+    pub name: String,
+    /// Rules per table, in the table's evaluation order.
+    pub tables: Vec<Vec<FlowRule>>,
+    /// All port numbers.
+    pub ports: Vec<u32>,
+    /// Port names (for witness paths).
+    pub port_names: BTreeMap<u32, String>,
+    /// What each port is backed by.
+    pub attach: BTreeMap<u32, PortAttach>,
+}
+
+/// The verifiable model of a deployment.
+pub struct Model {
+    /// Field atomization.
+    pub dom: Domains,
+    /// Human-readable deployment label.
+    pub label: String,
+    /// Whether vswitches run in isolated compartments (Level-1/Level-2).
+    pub compartmentalized: bool,
+    /// One VEB model per physical port.
+    pub pfs: Vec<PfModel>,
+    /// The vswitch instances.
+    pub vswitches: Vec<VsModel>,
+    /// Role of every configured VF, keyed by `(pf, vf)`.
+    pub vf_role: BTreeMap<(u8, u8), VfRole>,
+    /// Tenant identities.
+    pub tenants: Vec<TenantInfo>,
+}
+
+impl Model {
+    /// Extracts the model from a configured deployment.
+    pub fn of(d: &Deployment) -> Result<Model, DomainOverflow> {
+        let mut b = DomainsBuilder::new();
+
+        // Seed domains from the address plan.
+        b.add_mac(d.plan.lg_mac);
+        b.add_mac(d.plan.sink_mac);
+        b.add_ip(d.plan.lg_ip);
+        for t in &d.plan.tenants {
+            b.add_vlan(t.vlan);
+            b.add_ip(t.ip);
+            b.add_ip(t.gw_ip);
+            for (_, mac) in &t.vf {
+                b.add_mac(*mac);
+            }
+        }
+
+        // …from the NIC state…
+        let mut pfs = Vec::new();
+        for p in 0..d.ports {
+            let pf = d.nic.pf(PfId(p)).map_err(|_| DomainOverflow {
+                field: "pf",
+                needed: p as usize + 1,
+                cap: 0,
+            })?;
+            for (vlan, mac, _) in pf.static_macs() {
+                b.add_vlan(vlan);
+                b.add_mac(mac);
+            }
+            for (_, cfg) in pf.vfs() {
+                b.add_mac(cfg.mac);
+                if let Some(v) = cfg.vlan {
+                    b.add_vlan(v);
+                }
+            }
+            for r in pf.filters() {
+                if let Some(m) = r.src_mac {
+                    b.add_mac(m);
+                }
+                if let Some(m) = r.dst_mac {
+                    b.add_mac(m);
+                }
+                if let Some(v) = r.vlan {
+                    b.add_vlan(v);
+                }
+                if let Some(e) = r.ethertype {
+                    b.add_ether(e);
+                }
+            }
+        }
+
+        // …and from the flow pipelines.
+        for inst in &d.vswitches {
+            for (_, rule) in inst.sw.dump_rules() {
+                seed_from_match(&mut b, &rule.m);
+                for a in &rule.actions {
+                    match a {
+                        Action::SetEthDst(m) | Action::SetEthSrc(m) => b.add_mac(*m),
+                        Action::PushVlan(v) => b.add_vlan(*v),
+                        Action::VxlanEncap {
+                            src_ip,
+                            dst_ip,
+                            src_mac,
+                            dst_mac,
+                            ..
+                        } => {
+                            b.add_ip(*src_ip);
+                            b.add_ip(*dst_ip);
+                            b.add_mac(*src_mac);
+                            b.add_mac(*dst_mac);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        let dom = b.build()?;
+
+        // PF models: filters in evaluation order (stable priority-desc).
+        for p in 0..d.ports {
+            let pf = d
+                .nic
+                .pf(PfId(p))
+                .unwrap_or_else(|_| unreachable!("pf {p} checked above"));
+            let mut filters: Vec<(usize, FilterRule)> = pf
+                .filters()
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i, r.clone()))
+                .collect();
+            filters.sort_by_key(|(_, r)| std::cmp::Reverse(r.priority));
+            pfs.push(PfModel {
+                statics: pf
+                    .static_macs()
+                    .into_iter()
+                    .map(|(v, m, port)| (v, m, NPort::from_nic(port)))
+                    .collect(),
+                filters,
+                vfs: pf.vfs().map(|(id, cfg)| (id.0, cfg.clone())).collect(),
+            });
+        }
+
+        // Vswitch models and VF roles.
+        let mut vswitches = Vec::new();
+        let mut vf_role: BTreeMap<(u8, u8), VfRole> = BTreeMap::new();
+        for (i, inst) in d.vswitches.iter().enumerate() {
+            let mut tables: Vec<Vec<FlowRule>> = Vec::new();
+            for (t, rule) in inst.sw.dump_rules() {
+                if tables.len() <= t as usize {
+                    tables.resize_with(t as usize + 1, Vec::new);
+                }
+                tables[t as usize].push(rule);
+            }
+            let mut ports = Vec::new();
+            let mut port_names = BTreeMap::new();
+            for (no, info) in inst.sw.ports() {
+                ports.push(no.0);
+                port_names.insert(no.0, info.name.clone());
+            }
+            ports.sort_unstable();
+            let attach: BTreeMap<u32, PortAttach> =
+                inst.attach.iter().map(|(no, a)| (no.0, *a)).collect();
+            for (no, a) in &attach {
+                if let PortAttach::Vf(pf, vf) = a {
+                    vf_role.insert((pf.0, vf.0), VfRole::VswitchPort { inst: i, port: *no });
+                }
+            }
+            vswitches.push(VsModel {
+                name: format!("vswitch{}", inst.index),
+                tables,
+                ports,
+                port_names,
+                attach,
+            });
+        }
+
+        let mut tenants = Vec::new();
+        for t in &d.plan.tenants {
+            let mut vfs = Vec::new();
+            for (r, mac) in &t.vf {
+                vfs.push((r.pf.0, r.vf.0, *mac));
+                vf_role.insert((r.pf.0, r.vf.0), VfRole::Tenant { tenant: t.index });
+            }
+            tenants.push(TenantInfo {
+                index: t.index,
+                vlan: t.vlan,
+                vfs,
+            });
+        }
+
+        Ok(Model {
+            dom,
+            label: d.spec.label(),
+            compartmentalized: d.spec.level.compartmentalized(),
+            pfs,
+            vswitches,
+            vf_role,
+            tenants,
+        })
+    }
+
+    /// Where unknown unicast in VLAN `vid` on PF `pf` can end up, over all
+    /// possible learning histories.
+    ///
+    /// A fresh VEB floods unknown unicast to the VLAN's members minus the
+    /// PF; once the learning table holds an entry for the destination, the
+    /// frame instead goes wherever that entry points. An entry `(vid, mac)
+    /// -> port` exists only if `port` previously *sourced* a frame with
+    /// that VLAN and MAC, so the possible learned targets are:
+    ///
+    /// * the PF, for VLAN 0 only (trusted host software sends untagged);
+    /// * VLAN members (tagged VFs source only their own VST tag; the wire
+    ///   and untagged ports are members of every VLAN they can source);
+    /// * untagged *tenant* VFs: an adversarial guest behind an untagged VF
+    ///   can emit any `(tag, mac)` pair and poison any VLAN's table.
+    ///
+    /// Untagged *infrastructure* VFs (vswitch-attached) are not included
+    /// beyond their membership: the vswitch VM is the trusted mediation
+    /// layer and the controller's pipelines emit untagged frames to it, so
+    /// it can only populate VLAN-0 entries — covered by `members(0)`.
+    pub fn learned_targets(&self, pf: u8, vid: u16) -> BTreeSet<NPort> {
+        let model = &self.pfs[pf as usize];
+        let mut out: BTreeSet<NPort> = model
+            .members(vid)
+            .into_iter()
+            .filter(|p| *p != NPort::Pf)
+            .collect();
+        if vid == 0 {
+            out.insert(NPort::Pf);
+        }
+        for (id, cfg) in &model.vfs {
+            let tenant_owned = matches!(self.vf_role.get(&(pf, *id)), Some(VfRole::Tenant { .. }));
+            if cfg.vlan.is_none() && tenant_owned {
+                out.insert(NPort::Vf(*id));
+            }
+        }
+        out
+    }
+
+    /// The symbolic match cube of a NIC security filter (its [`PortClass`]
+    /// is checked separately against the ingress port).
+    ///
+    /// [`PortClass`]: mts_nic::PortClass
+    pub fn filter_cube(&self, r: &FilterRule) -> Cube {
+        let mut c = self.dom.full_cube();
+        if let Some(m) = r.src_mac {
+            c.src = self.dom.mac_bit(m);
+        }
+        if let Some(m) = r.dst_mac {
+            c.dst = self.dom.mac_bit(m);
+        }
+        if let Some(v) = r.vlan {
+            c.vlan = self.dom.vlan_bit(v);
+        }
+        if let Some(e) = r.ethertype {
+            c.ether = self.dom.ether_bit(e);
+        }
+        c
+    }
+
+    /// The symbolic cube of a [`FlowMatch`] (minus `in_port`, which the
+    /// caller checks), and whether the cube is *exact*.
+    ///
+    /// `ip_proto`, L4 ports and `tun_id` are outside the modelled header
+    /// fields; a rule constraining them yields an inexact cube: the matched
+    /// class is propagated through the rule (the match might happen) but is
+    /// *not* subtracted from the fall-through class (it might not). This
+    /// keeps the analysis an over-approximation of reachability.
+    pub fn match_cube(&self, m: &FlowMatch) -> (Cube, bool) {
+        let mut c = self.dom.full_cube();
+        if let Some(mac) = m.eth_src {
+            c.src = self.dom.mac_bit(mac);
+        }
+        if let Some(mac) = m.eth_dst {
+            c.dst = self.dom.mac_bit(mac);
+        }
+        match m.vlan {
+            VlanMatch::Any => {}
+            VlanMatch::Untagged => c.vlan = 1,
+            VlanMatch::Tag(v) => c.vlan = self.dom.vlan_bit(v),
+        }
+        if let Some(e) = m.ethertype {
+            c.ether &= self.dom.ether_bit(e);
+        }
+        if let Some(p) = m.ip_src {
+            c.ip_src = self.dom.ip_mask(p);
+            c.ether &= self.dom.ether_bit(EtherType::Ipv4);
+        }
+        if let Some(p) = m.ip_dst {
+            c.ip_dst = self.dom.ip_mask(p);
+            c.ether &= self.dom.ether_bit(EtherType::Ipv4);
+        }
+        let exact = m.ip_proto.is_none() && m.l4_src.is_none() && m.l4_dst.is_none() && {
+            // An L4-free IP match still requires a parsable IPv4 payload,
+            // which the ether-type constraint models exactly.
+            m.tun_id.is_none()
+        };
+        (c, exact)
+    }
+}
+
+fn seed_from_match(b: &mut DomainsBuilder, m: &FlowMatch) {
+    if let Some(mac) = m.eth_src {
+        b.add_mac(mac);
+    }
+    if let Some(mac) = m.eth_dst {
+        b.add_mac(mac);
+    }
+    if let VlanMatch::Tag(v) = m.vlan {
+        b.add_vlan(v);
+    }
+    if let Some(e) = m.ethertype {
+        b.add_ether(e);
+    }
+    if let Some(p) = m.ip_src {
+        b.add_prefix(p);
+    }
+    if let Some(p) = m.ip_dst {
+        b.add_prefix(p);
+    }
+}
+
+/// Coverage facts accumulated while pushing header sets through the model,
+/// consumed by the dead/shadowed-rule warning pass.
+#[derive(Default)]
+pub struct Collector {
+    /// `(pf, original filter index)` of NIC filters that matched something.
+    pub filter_hits: BTreeSet<(u8, usize)>,
+    /// `(vswitch, table, rule index)` of flow rules that matched something.
+    pub rule_hits: BTreeSet<(usize, u8, usize)>,
+    /// `(pf, vf)` of VFs some frame was delivered to.
+    pub vf_delivered: BTreeSet<(u8, u8)>,
+    /// Model-truncation notes (e.g. VXLAN tunnels not traced through).
+    pub notes: BTreeSet<String>,
+}
+
+/// Pushes a header set into PF `pf` of the NIC at `from`, returning the
+/// egress deliveries. Mirrors `PfSwitch::ingress`: spoof check → VST →
+/// security filters → forwarding (statics, then the learned-entry
+/// over-approximation) → VST egress strip.
+pub fn nic_transfer(
+    m: &Model,
+    pf: u8,
+    from: NPort,
+    hs: &HeaderSet,
+    col: &mut Collector,
+) -> Vec<(NPort, HeaderSet)> {
+    let model = &m.pfs[pf as usize];
+    let dom = &m.dom;
+    let mut cur = hs.clone();
+
+    // VF ingress policy: anti-spoofing constrains the source MAC; VST
+    // drops tagged frames and tags the rest with the VF's VLAN.
+    if let NPort::Vf(id) = from {
+        let Some(cfg) = model.vfs.get(&id) else {
+            return Vec::new(); // unconfigured VF: no traffic
+        };
+        if cfg.spoof_check {
+            let mut c = dom.full_cube();
+            c.src = dom.mac_bit(cfg.mac);
+            cur = cur.intersect_cube(&c);
+        }
+        if let Some(v) = cfg.vlan {
+            let mut untagged = dom.full_cube();
+            untagged.vlan = 1; // atom 0 = untagged
+            cur = cur.intersect_cube(&untagged);
+            cur = cur.rewrite(Field::Vlan, u128::from(dom.vlan_bit(v)));
+        }
+    }
+    if cur.is_empty() {
+        return Vec::new();
+    }
+
+    // Security filters: first match in evaluation order wins.
+    let mut admitted = HeaderSet::empty();
+    let mut remaining = cur;
+    for (orig, rule) in &model.filters {
+        if remaining.is_empty() {
+            break;
+        }
+        if !rule.from.matches(from.to_nic()) {
+            continue;
+        }
+        let cube = m.filter_cube(rule);
+        let matched = remaining.intersect_cube(&cube);
+        if !matched.is_empty() {
+            col.filter_hits.insert((pf, *orig));
+            if rule.action == FilterAction::Allow {
+                admitted.union(&matched);
+            }
+            remaining.subtract_cube(&cube);
+        }
+    }
+    admitted.union(&remaining); // default action is Allow
+
+    // Forwarding, per VLAN atom.
+    let mut out: BTreeMap<NPort, HeaderSet> = BTreeMap::new();
+    let deliver = |port: NPort, set: &HeaderSet, out: &mut BTreeMap<NPort, HeaderSet>| {
+        if port != from && !set.is_empty() {
+            out.entry(port).or_default().union(set);
+        }
+    };
+    for (atom, vid) in dom.vlans.iter().enumerate() {
+        let mut vcube = dom.full_cube();
+        vcube.vlan = 1 << atom;
+        let in_vlan = admitted.intersect_cube(&vcube);
+        if in_vlan.is_empty() {
+            continue;
+        }
+
+        // Multicast / broadcast: flood the VLAN's members.
+        let mut mc = dom.full_cube();
+        mc.dst = dom.mac_multicast();
+        let multicast = in_vlan.intersect_cube(&mc);
+        if !multicast.is_empty() {
+            for port in model.members(*vid) {
+                deliver(port, &multicast, &mut out);
+            }
+        }
+
+        // Unicast: static entries first (frames whose lookup equals the
+        // ingress port are dropped by the VEB, hence the `!= from` guard
+        // inside `deliver`), then the learned-entry over-approximation.
+        let mut uc = dom.full_cube();
+        uc.dst = dom.mac_unicast();
+        let mut unicast = in_vlan.intersect_cube(&uc);
+        for (svlan, mac, port) in &model.statics {
+            if svlan != vid || unicast.is_empty() {
+                continue;
+            }
+            let mut c = dom.full_cube();
+            c.dst = dom.mac_bit(*mac);
+            let part = unicast.intersect_cube(&c);
+            deliver(*port, &part, &mut out);
+            unicast.subtract_cube(&c);
+        }
+        if !unicast.is_empty() {
+            // Unknown unicast: union of the fresh-table flood and every
+            // possible learned-entry delivery (see `Model::learned_targets`).
+            for port in m.learned_targets(pf, *vid) {
+                deliver(port, &unicast, &mut out);
+            }
+        }
+    }
+
+    // Egress: record VF deliveries and strip the VST tag towards VST VFs.
+    let mut result = Vec::new();
+    for (port, set) in out {
+        let set = match port {
+            NPort::Vf(id) => {
+                col.vf_delivered.insert((pf, id));
+                match model.vfs.get(&id).and_then(|c| c.vlan) {
+                    Some(_) => set.rewrite(Field::Vlan, 1),
+                    None => set,
+                }
+            }
+            _ => set,
+        };
+        if !set.is_empty() {
+            result.push((port, set));
+        }
+    }
+    result
+}
+
+/// Pushes a header set into vswitch `inst` at `in_port`, returning the
+/// emissions. Mirrors `VirtualSwitch::resolve`: one best-match rule per
+/// table, actions applied in order, forward-only `GotoTable`, table miss
+/// drops.
+pub fn vswitch_transfer(
+    m: &Model,
+    inst: usize,
+    in_port: u32,
+    hs: &HeaderSet,
+    col: &mut Collector,
+) -> Vec<(u32, HeaderSet)> {
+    let vs = &m.vswitches[inst];
+    let dom = &m.dom;
+    let mut out: BTreeMap<u32, HeaderSet> = BTreeMap::new();
+    let mut stack: Vec<(u8, HeaderSet)> = vec![(0, hs.clone())];
+
+    while let Some((t, mut cur)) = stack.pop() {
+        let Some(rules) = vs.tables.get(t as usize) else {
+            continue; // table miss: drop
+        };
+        for (idx, rule) in rules.iter().enumerate() {
+            if cur.is_empty() {
+                break;
+            }
+            if let Some(p) = rule.m.in_port {
+                if p.0 != in_port {
+                    continue;
+                }
+            }
+            let (cube, exact) = m.match_cube(&rule.m);
+            let matched = cur.intersect_cube(&cube);
+            if matched.is_empty() {
+                continue;
+            }
+            col.rule_hits.insert((inst, t, idx));
+            if exact {
+                cur.subtract_cube(&cube);
+            }
+
+            // Apply the action list to the matched class.
+            let mut work = matched;
+            let mut goto: Option<u8> = None;
+            let mut dropped = false;
+            for a in &rule.actions {
+                match a {
+                    Action::Output(p) => {
+                        out.entry(p.0).or_default().union(&work);
+                    }
+                    Action::Flood => {
+                        for p in &vs.ports {
+                            if *p != in_port {
+                                out.entry(*p).or_default().union(&work);
+                            }
+                        }
+                    }
+                    Action::Normal => {
+                        // Learning-switch NORMAL: over-approximated as a
+                        // flood (learning can deliver to at most these).
+                        col.notes.insert(format!(
+                            "{}: NORMAL action over-approximated as flood",
+                            vs.name
+                        ));
+                        for p in &vs.ports {
+                            if *p != in_port {
+                                out.entry(*p).or_default().union(&work);
+                            }
+                        }
+                    }
+                    Action::SetEthDst(mac) => {
+                        work = work.rewrite(Field::Dst, dom.mac_bit(*mac));
+                    }
+                    Action::SetEthSrc(mac) => {
+                        work = work.rewrite(Field::Src, dom.mac_bit(*mac));
+                    }
+                    Action::PushVlan(v) => {
+                        work = work.rewrite(Field::Vlan, u128::from(dom.vlan_bit(*v)));
+                    }
+                    Action::PopVlan => {
+                        work = work.rewrite(Field::Vlan, 1);
+                    }
+                    Action::DecTtl => {}
+                    Action::VxlanEncap { .. } | Action::VxlanDecap => {
+                        col.notes.insert(format!(
+                            "{}: VXLAN tunnel not traced through (overlay headers are \
+                             outside the modelled fields)",
+                            vs.name
+                        ));
+                        dropped = true;
+                        break;
+                    }
+                    Action::GotoTable(tid) => {
+                        goto = Some(tid.0);
+                    }
+                    Action::Drop => {
+                        dropped = true;
+                        break;
+                    }
+                }
+            }
+            if !dropped {
+                if let Some(next) = goto {
+                    if next > t && !work.is_empty() {
+                        stack.push((next, work));
+                    }
+                    // Backward goto drops, like the real pipeline.
+                }
+            }
+        }
+        // Whatever matched no rule is a table miss: dropped.
+    }
+
+    out.into_iter().filter(|(_, s)| !s.is_empty()).collect()
+}

@@ -1,0 +1,110 @@
+//! End-to-end verification of shipped deployments and seeded
+//! misconfigurations.
+
+use mts_core::controller::Controller;
+use mts_core::{DeploymentSpec, ResourceMode, Scenario, SecurityLevel};
+use mts_isocheck::{verify, verify_spec, Misconfig, ViolationKind};
+use mts_vswitch::DatapathKind;
+
+fn l1(scenario: Scenario) -> DeploymentSpec {
+    DeploymentSpec::mts(
+        SecurityLevel::Level1,
+        DatapathKind::Kernel,
+        ResourceMode::Shared,
+        scenario,
+    )
+}
+
+#[test]
+fn shipped_matrix_is_clean() {
+    let reports = mts_isocheck::verify_shipped().expect("shipped configs verify");
+    assert!(!reports.is_empty());
+    for r in &reports {
+        assert!(
+            !r.informational,
+            "{}: shipped matrix is compartmentalized",
+            r.label
+        );
+        assert!(
+            r.is_clean(),
+            "expected clean verdict for {}, got:\n{r}",
+            r.label
+        );
+    }
+}
+
+#[test]
+fn both_datapaths_verify_identically() {
+    for dp in [DatapathKind::Kernel, DatapathKind::Dpdk] {
+        let spec = DeploymentSpec::mts(
+            SecurityLevel::Level1,
+            dp,
+            ResourceMode::Shared,
+            Scenario::P2v,
+        );
+        let r = verify_spec(spec).expect("verifies");
+        assert!(r.is_clean(), "{}\n{r}", r.label);
+    }
+}
+
+#[test]
+fn baseline_is_informational_only() {
+    let spec =
+        DeploymentSpec::baseline(DatapathKind::Kernel, ResourceMode::Shared, 1, Scenario::P2v);
+    let r = verify_spec(spec).expect("verifies");
+    assert!(r.informational);
+    assert!(r.violations.is_empty());
+}
+
+#[test]
+fn vlan_reuse_is_flagged_with_witness() {
+    let mut d = Controller::deploy(l1(Scenario::P2v)).expect("deploys");
+    Misconfig::VlanReuse.seed(&mut d).expect("seeds");
+    let r = verify(&d).expect("verifies");
+    assert!(!r.is_clean());
+    assert!(Misconfig::VlanReuse.detected_in(&r), "{r}");
+    let v = r
+        .violations
+        .iter()
+        .find(|v| matches!(v.kind, ViolationKind::CrossTenantReach { .. }))
+        .expect("cross-tenant violation");
+    let w = v.witness.as_ref().expect("witness");
+    assert!(
+        w.path.len() >= 2,
+        "path shows at least source and sink: {w}"
+    );
+}
+
+#[test]
+fn spoofchk_off_is_flagged_with_witness() {
+    let mut d = Controller::deploy(l1(Scenario::P2v)).expect("deploys");
+    Misconfig::SpoofCheckOff.seed(&mut d).expect("seeds");
+    let r = verify(&d).expect("verifies");
+    assert!(Misconfig::SpoofCheckOff.detected_in(&r), "{r}");
+}
+
+#[test]
+fn broad_veb_allow_is_flagged_with_witness() {
+    let mut d = Controller::deploy(l1(Scenario::P2v)).expect("deploys");
+    Misconfig::BroadVebAllow.seed(&mut d).expect("seeds");
+    let r = verify(&d).expect("verifies");
+    assert!(Misconfig::BroadVebAllow.detected_in(&r), "{r}");
+}
+
+#[test]
+fn misconfigs_have_distinct_characteristic_verdicts() {
+    // Each seeded misconfiguration is detected by its own verdict, and a
+    // clean deployment triggers none of them.
+    let clean = verify(&Controller::deploy(l1(Scenario::P2v)).expect("deploys")).expect("verifies");
+    for mc in Misconfig::ALL {
+        assert!(
+            !mc.detected_in(&clean),
+            "{} falsely detected in clean deployment:\n{clean}",
+            mc.label()
+        );
+        let mut d = Controller::deploy(l1(Scenario::P2v)).expect("deploys");
+        mc.seed(&mut d).expect("seeds");
+        let r = verify(&d).expect("verifies");
+        assert!(mc.detected_in(&r), "{} not detected:\n{r}", mc.label());
+    }
+}

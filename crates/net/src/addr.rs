@@ -62,6 +62,13 @@ impl MacAddr {
         self.0[0] & 0x02 != 0
     }
 
+    /// Inverse of [`MacAddr::as_u64`]: rebuilds the address from the low
+    /// 48 bits of `v` (the upper 16 bits are ignored).
+    pub const fn from_u64(v: u64) -> Self {
+        let b = v.to_be_bytes();
+        MacAddr([b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
     /// Returns the address as a `u64` (upper 16 bits zero), handy for hashing.
     pub fn as_u64(self) -> u64 {
         let o = self.0;
@@ -166,5 +173,22 @@ mod tests {
         let a = MacAddr::new([1, 2, 3, 4, 5, 6]);
         assert_eq!(a.as_u64(), 0x0102_0304_0506);
         assert_ne!(a.as_u64(), MacAddr::new([1, 2, 3, 4, 5, 7]).as_u64());
+    }
+
+    #[test]
+    fn from_u64_roundtrips() {
+        for m in [
+            MacAddr::BROADCAST,
+            MacAddr::ZERO,
+            MacAddr::local(0xdead_beef),
+            MacAddr::new([1, 2, 3, 4, 5, 6]),
+        ] {
+            assert_eq!(MacAddr::from_u64(m.as_u64()), m);
+        }
+        // Upper 16 bits are ignored.
+        assert_eq!(
+            MacAddr::from_u64(0xffff_0102_0304_0506),
+            MacAddr::new([1, 2, 3, 4, 5, 6])
+        );
     }
 }

@@ -219,7 +219,9 @@ pub fn parse_without_fcs(body: &[u8]) -> Result<Frame, WireError> {
     if body.len() < 14 {
         return Err(WireError::Truncated("ethernet header"));
     }
+    // lint:allow(no-unwrap): 6-byte slice of a length-checked buffer
     let dst = MacAddr::new(body[0..6].try_into().expect("slice length checked"));
+    // lint:allow(no-unwrap): 6-byte slice of a length-checked buffer
     let src = MacAddr::new(body[6..12].try_into().expect("slice length checked"));
     let mut ethertype = u16::from_be_bytes([body[12], body[13]]);
     let mut offset = 14;
@@ -269,8 +271,10 @@ fn parse_arp(b: &[u8]) -> Result<ArpPacket, WireError> {
     let op = ArpOp::from_u16(u16::from_be_bytes([b[6], b[7]])).ok_or(WireError::BadArp)?;
     Ok(ArpPacket {
         op,
+        // lint:allow(no-unwrap): 6-byte slice of a length-checked buffer
         sender_mac: MacAddr::new(b[8..14].try_into().expect("length checked")),
         sender_ip: Ipv4Addr::new(b[14], b[15], b[16], b[17]),
+        // lint:allow(no-unwrap): 6-byte slice of a length-checked buffer
         target_mac: MacAddr::new(b[18..24].try_into().expect("length checked")),
         target_ip: Ipv4Addr::new(b[24], b[25], b[26], b[27]),
     })

@@ -109,15 +109,22 @@ impl FilterRule {
 
 /// Evaluates filters in priority order; returns the first match's action.
 ///
+/// Ties between matching rules of equal priority break towards the
+/// *earlier-installed* rule, deterministically — hardware TCAMs resolve
+/// equal-priority overlaps by slot order, and the static analyzer
+/// (`mts-isocheck`) models exactly this order. (`max_by_key` would return
+/// the *last* maximal element and silently flip the winner on ties.)
+///
 /// No match means [`FilterAction::Allow`] (filters are an extra guard, not
 /// the primary isolation mechanism).
 pub fn evaluate(rules: &[FilterRule], from: NicPort, frame: &Frame, vlan: u16) -> FilterAction {
-    rules
-        .iter()
-        .filter(|r| r.matches(from, frame, vlan))
-        .max_by_key(|r| r.priority)
-        .map(|r| r.action)
-        .unwrap_or(FilterAction::Allow)
+    let mut best: Option<&FilterRule> = None;
+    for r in rules {
+        if r.matches(from, frame, vlan) && best.is_none_or(|b| r.priority > b.priority) {
+            best = Some(r);
+        }
+    }
+    best.map(|r| r.action).unwrap_or(FilterAction::Allow)
 }
 
 #[cfg(test)]
@@ -175,6 +182,24 @@ mod tests {
         assert_eq!(
             evaluate(&rules, NicPort::Wire, &to_other, 0),
             FilterAction::Allow
+        );
+    }
+
+    #[test]
+    fn equal_priority_tie_breaks_to_first_installed() {
+        let dst = MacAddr::local(9);
+        let f = frame(MacAddr::local(1), dst);
+        let allow = FilterRule::allow_to(PortClass::AnyVf, dst, 10);
+        let mut drop = FilterRule::drop_all_from(PortClass::AnyVf);
+        drop.priority = 10;
+        // Same priority, overlapping match: the earlier-installed rule wins.
+        assert_eq!(
+            evaluate(&[allow.clone(), drop.clone()], NicPort::Vf(VfId(0)), &f, 1),
+            FilterAction::Allow
+        );
+        assert_eq!(
+            evaluate(&[drop, allow], NicPort::Vf(VfId(0)), &f, 1),
+            FilterAction::Drop
         );
     }
 

@@ -156,6 +156,25 @@ impl PfSwitch {
         self.table.insert((vlan, mac.as_u64()), Entry::Static(port));
     }
 
+    /// Returns all *static* (configured, non-learned) MAC table entries as
+    /// `(vlan, mac, port)` triples, sorted by `(vlan, mac)` so iteration is
+    /// deterministic. This is the configured forwarding state the
+    /// `mts-isocheck` static analyzer reasons over; learned entries are
+    /// runtime state and deliberately excluded.
+    pub fn static_macs(&self) -> Vec<(u16, MacAddr, NicPort)> {
+        let mut out: Vec<(u16, MacAddr, NicPort)> = self
+            .table
+            // lint:allow(hashmap-iter): collected and sorted below before exposure
+            .iter()
+            .filter_map(|((vlan, mac), e)| match e {
+                Entry::Static(p) => Some((*vlan, MacAddr::from_u64(*mac), *p)),
+                Entry::Learned(_) => None,
+            })
+            .collect();
+        out.sort_by_key(|(vlan, mac, _)| (*vlan, mac.as_u64()));
+        out
+    }
+
     /// Switches one frame entering at `from`; returns zero or more deliveries.
     ///
     /// This is the pure forwarding decision; timing (PCIe DMA, hairpin
@@ -460,6 +479,25 @@ mod tests {
         assert_eq!(sw.lookup(5, old_mac), None);
         assert_eq!(sw.lookup(6, new_mac), Some(NicPort::Vf(VfId(0))));
         assert_eq!(sw.vf_count(), 1);
+    }
+
+    #[test]
+    fn static_macs_excludes_learned_entries_and_is_sorted() {
+        let (mut sw, inout, gw, tenant) = mts_layout();
+        sw.install_static_mac(0, MacAddr::local(0xaa), NicPort::Pf);
+        // Learn an external MAC towards the wire; it must not appear.
+        let ext = MacAddr::local(0xee);
+        let _ = sw.ingress(NicPort::Wire, frame(ext, inout));
+        let statics = sw.static_macs();
+        assert_eq!(statics.len(), 4);
+        assert!(statics.iter().all(|(_, m, _)| *m != ext));
+        assert!(statics.contains(&(0, inout, NicPort::Vf(VfId(0)))));
+        assert!(statics.contains(&(0, MacAddr::local(0xaa), NicPort::Pf)));
+        assert!(statics.contains(&(1, gw, NicPort::Vf(VfId(1)))));
+        assert!(statics.contains(&(1, tenant, NicPort::Vf(VfId(2)))));
+        let mut sorted = statics.clone();
+        sorted.sort_by_key(|(v, m, _)| (*v, m.as_u64()));
+        assert_eq!(statics, sorted);
     }
 
     #[test]

@@ -48,6 +48,21 @@ impl Ipv4Prefix {
     pub fn contains(&self, addr: Ipv4Addr) -> bool {
         u32::from(addr) & Self::mask_of(self.len) == u32::from(self.net)
     }
+
+    /// Returns whether every address of `other` lies within this prefix.
+    pub fn contains_prefix(&self, other: &Ipv4Prefix) -> bool {
+        self.len <= other.len && self.contains(other.net)
+    }
+
+    /// Returns whether the two prefixes share at least one address.
+    ///
+    /// Two prefixes overlap exactly when one contains the other (prefixes
+    /// form a laminar family: partial overlap is impossible).
+    pub fn overlaps(&self, other: &Ipv4Prefix) -> bool {
+        let len = self.len.min(other.len);
+        let mask = Self::mask_of(len);
+        u32::from(self.net) & mask == u32::from(other.net) & mask
+    }
 }
 
 impl fmt::Display for Ipv4Prefix {
@@ -209,6 +224,47 @@ impl FlowMatch {
         true
     }
 
+    /// Conservative syntactic subsumption: `true` guarantees that every
+    /// frame `other` accepts is also accepted by `self`.
+    ///
+    /// Used by the `mts-isocheck` static analyzer to report shadowed rules:
+    /// if a higher-precedence rule's match subsumes a lower one's, the lower
+    /// rule can never fire. The check is field-wise (wildcard subsumes
+    /// anything, exact values must agree, prefixes must nest), so it can
+    /// return `false` for semantically subsumed pairs that are written with
+    /// different field combinations — never the reverse.
+    pub fn subsumes(&self, other: &FlowMatch) -> bool {
+        fn field<T: PartialEq>(a: &Option<T>, b: &Option<T>) -> bool {
+            match (a, b) {
+                (None, _) => true,
+                (Some(x), Some(y)) => x == y,
+                (Some(_), None) => false,
+            }
+        }
+        fn prefix(a: &Option<Ipv4Prefix>, b: &Option<Ipv4Prefix>) -> bool {
+            match (a, b) {
+                (None, _) => true,
+                (Some(x), Some(y)) => x.contains_prefix(y),
+                (Some(_), None) => false,
+            }
+        }
+        let vlan_ok = match (self.vlan, other.vlan) {
+            (VlanMatch::Any, _) => true,
+            (a, b) => a == b,
+        };
+        field(&self.in_port, &other.in_port)
+            && field(&self.eth_src, &other.eth_src)
+            && field(&self.eth_dst, &other.eth_dst)
+            && vlan_ok
+            && field(&self.ethertype, &other.ethertype)
+            && prefix(&self.ip_src, &other.ip_src)
+            && prefix(&self.ip_dst, &other.ip_dst)
+            && field(&self.ip_proto, &other.ip_proto)
+            && field(&self.l4_src, &other.l4_src)
+            && field(&self.l4_dst, &other.l4_dst)
+            && field(&self.tun_id, &other.tun_id)
+    }
+
     /// Counts the constrained fields — a rough specificity measure used in
     /// diagnostics (priority, not specificity, decides precedence).
     pub fn specificity(&self) -> u32 {
@@ -256,6 +312,43 @@ mod tests {
         assert!(host.contains(Ipv4Addr::new(10, 0, 0, 5)));
         assert!(!host.contains(Ipv4Addr::new(10, 0, 0, 6)));
         assert_eq!(Ipv4Prefix::new(Ipv4Addr::new(1, 1, 1, 1), 99).len, 32);
+    }
+
+    #[test]
+    fn prefix_containment_and_overlap() {
+        let wide = Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 16);
+        let narrow = Ipv4Prefix::new(Ipv4Addr::new(10, 0, 1, 0), 24);
+        let other = Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16);
+        assert!(wide.contains_prefix(&narrow));
+        assert!(!narrow.contains_prefix(&wide));
+        assert!(wide.contains_prefix(&wide));
+        assert!(wide.overlaps(&narrow));
+        assert!(narrow.overlaps(&wide));
+        assert!(!wide.overlaps(&other));
+        let all = Ipv4Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 0);
+        assert!(all.contains_prefix(&other));
+        assert!(all.overlaps(&narrow));
+    }
+
+    #[test]
+    fn subsumption_is_fieldwise() {
+        let general = FlowMatch {
+            ethertype: Some(EtherType::Ipv4),
+            ip_dst: Some(Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8)),
+            ..FlowMatch::default()
+        };
+        let specific = FlowMatch::to_ip(Ipv4Addr::new(10, 0, 1, 9)).and_port(PortNo(3));
+        assert!(FlowMatch::any().subsumes(&general));
+        assert!(FlowMatch::any().subsumes(&specific));
+        assert!(general.subsumes(&specific));
+        assert!(!specific.subsumes(&general));
+        let untagged = FlowMatch {
+            vlan: VlanMatch::Untagged,
+            ..FlowMatch::default()
+        };
+        assert!(FlowMatch::any().subsumes(&untagged));
+        assert!(!untagged.subsumes(&FlowMatch::any()));
+        assert!(untagged.subsumes(&untagged));
     }
 
     #[test]

@@ -31,6 +31,16 @@ pub struct FlowStats {
 }
 
 /// A flow rule: match + priority + action list.
+///
+/// # Precedence
+///
+/// Higher `priority` wins. Ties between overlapping rules of equal priority
+/// break *deterministically towards the earlier-inserted rule*, regardless
+/// of how insertions of other priorities are interleaved:
+/// [`FlowTable::add`] places a new rule after every existing rule of the
+/// same priority (`partition_point` on `priority >=`), and lookup scans in
+/// that stored order. The `mts-isocheck` static analyzer models exactly
+/// this order, so a deployment it proves safe stays safe at runtime.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct FlowRule {
     /// Higher priorities win; ties break towards earlier insertion.
@@ -211,6 +221,28 @@ mod tests {
             .lookup(PortNo(0), &frame(Ipv4Addr::new(1, 1, 1, 1)), None)
             .unwrap();
         assert_eq!(hit.actions, vec![Action::Output(PortNo(1))]);
+    }
+
+    #[test]
+    fn equal_priority_tie_break_survives_interleaved_inserts() {
+        // Regression: insertion order within a priority band must be kept
+        // even when rules of other priorities are added in between.
+        let mut t = FlowTable::new();
+        let rule = |prio: u16, cookie: u64| {
+            FlowRule::new(prio, FlowMatch::any(), vec![Action::Drop]).with_cookie(cookie)
+        };
+        t.add(rule(5, 50));
+        t.add(rule(7, 70));
+        t.add(rule(5, 51));
+        t.add(rule(7, 71));
+        t.add(rule(6, 60));
+        let order: Vec<u64> = t.rules().map(|r| r.cookie).collect();
+        assert_eq!(order, vec![70, 71, 60, 50, 51]);
+        // The first-inserted rule of the highest priority wins the lookup.
+        let hit = t
+            .lookup(PortNo(0), &frame(Ipv4Addr::new(1, 1, 1, 1)), None)
+            .unwrap();
+        assert_eq!(hit.cookie, 70);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Property tests for the header-set primitives `mts-isocheck` builds on:
+//! `Ipv4Prefix` containment/overlap and `FlowMatch` subsumption.
+
+use mts_net::{EtherType, Frame, IpProto, MacAddr, Transport};
+use mts_vswitch::{FlowMatch, Ipv4Prefix, PortNo, VlanMatch};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn mask_of(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Ipv4Prefix::new(Ipv4Addr::from(a), l))
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        proptest::option::of(1u16..4095),
+    )
+        .prop_map(|(sm, dm, sip, dip, sp, dp, vlan)| {
+            let mut f = Frame::udp_data(
+                MacAddr::local(sm),
+                MacAddr::local(dm),
+                Ipv4Addr::from(sip),
+                Ipv4Addr::from(dip),
+                sp,
+                dp,
+                64,
+            );
+            if let Some(v) = vlan {
+                f = f.with_vlan(v);
+            }
+            f
+        })
+}
+
+/// A match that provably accepts `f` on `port`: each bit of `sel` pins one
+/// field to the frame's own value; prefix fields use the given lengths.
+fn match_for_frame(f: &Frame, port: PortNo, sel: u16, plen_src: u8, plen_dst: u8) -> FlowMatch {
+    let ip = f.ipv4().expect("generated frames carry IPv4");
+    let (sport, dport) = match &ip.transport {
+        Transport::Udp(u) => (u.sport, u.dport),
+        Transport::Tcp(t) => (t.sport, t.dport),
+        Transport::Raw { .. } => (0, 0),
+    };
+    FlowMatch {
+        in_port: (sel & 0x001 != 0).then_some(port),
+        eth_src: (sel & 0x002 != 0).then_some(f.src),
+        eth_dst: (sel & 0x004 != 0).then_some(f.dst),
+        vlan: if sel & 0x008 != 0 {
+            match f.vlan {
+                Some(t) => VlanMatch::Tag(t.vid),
+                None => VlanMatch::Untagged,
+            }
+        } else {
+            VlanMatch::Any
+        },
+        ethertype: (sel & 0x010 != 0).then_some(EtherType::Ipv4),
+        ip_src: (sel & 0x020 != 0).then(|| Ipv4Prefix::new(ip.src, plen_src)),
+        ip_dst: (sel & 0x040 != 0).then(|| Ipv4Prefix::new(ip.dst, plen_dst)),
+        ip_proto: (sel & 0x080 != 0).then_some(IpProto::Udp),
+        l4_src: (sel & 0x100 != 0).then_some(sport),
+        l4_dst: (sel & 0x200 != 0).then_some(dport),
+        tun_id: None,
+    }
+}
+
+proptest! {
+    #[test]
+    fn prefix_new_is_canonical(p in arb_prefix()) {
+        // Host bits are zeroed, so re-canonicalizing is a no-op and the
+        // network address is a member of its own prefix.
+        prop_assert_eq!(Ipv4Prefix::new(p.net, p.len), p);
+        prop_assert!(p.contains(p.net));
+    }
+
+    #[test]
+    fn prefix_contains_all_its_addresses(p in arb_prefix(), host in any::<u32>()) {
+        let addr = Ipv4Addr::from(u32::from(p.net) | (host & !mask_of(p.len)));
+        prop_assert!(p.contains(addr));
+    }
+
+    #[test]
+    fn containment_implies_membership(a in arb_prefix(), b in arb_prefix(), host in any::<u32>()) {
+        let addr_in_b = Ipv4Addr::from(u32::from(b.net) | (host & !mask_of(b.len)));
+        if a.contains_prefix(&b) {
+            prop_assert!(a.contains(addr_in_b));
+            prop_assert!(a.len <= b.len);
+        }
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_laminar(a in arb_prefix(), b in arb_prefix()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        // Prefixes form a laminar family: overlap ⟺ one contains the other,
+        // which in turn ⟺ one's network address lies in the other.
+        prop_assert_eq!(
+            a.overlaps(&b),
+            a.contains_prefix(&b) || b.contains_prefix(&a)
+        );
+        prop_assert_eq!(a.overlaps(&b), a.contains(b.net) || b.contains(a.net));
+    }
+
+    #[test]
+    fn disjoint_prefixes_share_no_address(a in arb_prefix(), b in arb_prefix(), host in any::<u32>()) {
+        prop_assume!(!a.overlaps(&b));
+        let addr_in_a = Ipv4Addr::from(u32::from(a.net) | (host & !mask_of(a.len)));
+        prop_assert!(!b.contains(addr_in_a));
+    }
+
+    #[test]
+    fn shorter_prefix_of_same_address_contains(addr in any::<u32>(), l1 in 0u8..=32, l2 in 0u8..=32) {
+        let short = Ipv4Prefix::new(Ipv4Addr::from(addr), l1.min(l2));
+        let long = Ipv4Prefix::new(Ipv4Addr::from(addr), l1.max(l2));
+        prop_assert!(short.contains_prefix(&long));
+        prop_assert!(short.overlaps(&long));
+    }
+
+    #[test]
+    fn subsumption_is_reflexive(
+        f in arb_frame(),
+        port in 1u32..8,
+        sel in any::<u16>(),
+        pl_src in 0u8..=32,
+        pl_dst in 0u8..=32,
+    ) {
+        let m = match_for_frame(&f, PortNo(port), sel, pl_src, pl_dst);
+        prop_assert!(m.subsumes(&m));
+        prop_assert!(FlowMatch::any().subsumes(&m));
+    }
+
+    #[test]
+    fn generalization_subsumes_and_both_match(
+        f in arb_frame(),
+        port in 1u32..8,
+        sel in any::<u16>(),
+        keep in any::<u16>(),
+        pl_src in 0u8..=32,
+        pl_dst in 0u8..=32,
+        widen_src in 0u8..=32,
+        widen_dst in 0u8..=32,
+    ) {
+        // `m` pins a subset of fields to the frame's values; `g` keeps only
+        // a subset of those and widens the prefixes, so it must subsume `m`
+        // and still accept every frame `m` accepts — in particular `f`.
+        let m = match_for_frame(&f, PortNo(port), sel, pl_src, pl_dst);
+        let g = match_for_frame(
+            &f,
+            PortNo(port),
+            sel & keep,
+            pl_src.min(widen_src),
+            pl_dst.min(widen_dst),
+        );
+        prop_assert!(m.matches(PortNo(port), &f, None));
+        prop_assert!(g.matches(PortNo(port), &f, None));
+        prop_assert!(g.subsumes(&m));
+        prop_assert!(g.specificity() <= m.specificity());
+    }
+
+    #[test]
+    fn subsumption_is_sound_on_random_pairs(
+        f in arb_frame(),
+        port in 1u32..8,
+        sel_a in any::<u16>(),
+        sel_b in any::<u16>(),
+        pl_a in 0u8..=32,
+        pl_b in 0u8..=32,
+    ) {
+        // For arbitrary match pairs: whenever `a.subsumes(b)` holds and `b`
+        // accepts a frame, `a` must accept it too (the guarantee isocheck's
+        // shadowed-rule warning relies on).
+        let a = match_for_frame(&f, PortNo(port), sel_a, pl_a, pl_a);
+        let b = match_for_frame(&f, PortNo(port), sel_b, pl_b, pl_b);
+        if a.subsumes(&b) && b.matches(PortNo(port), &f, None) {
+            prop_assert!(a.matches(PortNo(port), &f, None));
+        }
+    }
+}

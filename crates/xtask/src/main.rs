@@ -1,0 +1,355 @@
+//! Repository automation. `cargo xtask lint` enforces the determinism and
+//! hygiene rules the simulation depends on (see `VERIFICATION.md` §lint and
+//! `DESIGN.md`):
+//!
+//! * `wall-clock` — no `std::time::Instant` / `SystemTime` in library
+//!   crates. Simulated time comes exclusively from `mts-sim`; wall-clock
+//!   reads make runs irreproducible.
+//! * `no-print` — no `println!` / `print!` in library crates. Human-facing
+//!   output belongs to report types (`Display`) and the binaries.
+//! * `no-unwrap` — no `.unwrap()` / `.expect(` in library crates outside
+//!   `#[cfg(test)]`. Library code returns errors; panics in the datapath
+//!   would take the whole simulated host down.
+//! * `hashmap-iter` — no iteration over `HashMap` / `HashSet` in library
+//!   crates unless the same expression is an order-insensitive reduction
+//!   (`.sum()`, `.count()`, `.any(..)`, `.all(..)`, `.fold` into min/max).
+//!   Hash iteration order is nondeterministic across runs and platforms;
+//!   anything order-sensitive must sort first or use a `BTreeMap`.
+//!
+//! A finding is waived by a comment `lint:allow(<check>)` on the same line
+//! or the line directly above, which is expected to justify *why* the site
+//! is safe. Binary crates (no `src/lib.rs`), `src/bin/`, tests, benches
+//! and doc comments are out of scope.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint finding.
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    check: &'static str,
+    excerpt: String,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        other => {
+            eprintln!(
+                "usage: cargo xtask lint    (got {:?})\n\nchecks: wall-clock, no-print, no-unwrap, hashmap-iter",
+                other.unwrap_or("nothing")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut findings = Vec::new();
+    let mut files = 0usize;
+    for crate_dir in sorted_dirs(&root.join("crates")) {
+        let src = crate_dir.join("src");
+        // Library crates only: binaries may print and may choose to panic.
+        if !src.join("lib.rs").is_file() {
+            continue;
+        }
+        for file in rust_files(&src) {
+            // `src/bin/` targets inside a library crate are binaries too.
+            if file.components().any(|c| c.as_os_str() == "bin") {
+                continue;
+            }
+            files += 1;
+            if let Ok(text) = fs::read_to_string(&file) {
+                scan_file(&file, &text, &mut findings);
+            }
+        }
+    }
+    if findings.is_empty() {
+        println!("xtask lint: {files} library files clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!(
+                "{}:{}: [{}] {}",
+                f.file.display(),
+                f.line,
+                f.check,
+                f.excerpt.trim()
+            );
+        }
+        println!(
+            "xtask lint: {} finding(s) in {files} files; waive with a justified `lint:allow(<check>)` comment",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/xtask; the workspace root is two up.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(d) => PathBuf::from(d)
+            .ancestors()
+            .nth(2)
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from(".")),
+        Err(_) => PathBuf::from("."),
+    }
+}
+
+fn sorted_dirs(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for p in fs::read_dir(&d)
+            .map(|rd| rd.flatten().map(|e| e.path()).collect::<Vec<_>>())
+            .unwrap_or_default()
+        {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Strips comments from a line, returning `(code, comment)`. String
+/// literals are respected so `"//"` inside a string does not truncate.
+fn split_comment(line: &str) -> (String, String) {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if in_str => i += 1, // skip escaped char
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < b.len() && b[i + 1] == b'/' => {
+                return (line[..i].to_string(), line[i..].to_string());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (line.to_string(), String::new())
+}
+
+/// Identifiers declared with a `HashMap` / `HashSet` type in this file
+/// (fields `name: HashMap<..>` and bindings `let name = HashMap::new()`).
+fn hash_idents(lines: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in lines {
+        let (code, _) = split_comment(line);
+        for ty in ["HashMap", "HashSet"] {
+            if let Some(pos) = code.find(ty) {
+                // `name: HashMap<...>` — walk back over `: `.
+                let before = code[..pos].trim_end();
+                if let Some(before) = before.strip_suffix(':') {
+                    if let Some(id) = trailing_ident(before.trim_end()) {
+                        out.push(id);
+                    }
+                }
+                // `let [mut] name = HashMap::new()`.
+                if let Some(eq) = code[..pos].rfind('=') {
+                    if let Some(id) = trailing_ident(code[..eq].trim_end()) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn trailing_ident(s: &str) -> Option<String> {
+    let end = s.len();
+    let start = s
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let id = &s[start..end];
+    let ok = !id.is_empty()
+        && !id.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && !matches!(id, "mut" | "let" | "pub" | "ref");
+    if ok {
+        Some(id.to_string())
+    } else {
+        None
+    }
+}
+
+const ITER_METHODS: [&str; 7] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+];
+
+/// Order-insensitive terminal reductions: iterating a hash container into
+/// one of these is deterministic regardless of iteration order.
+const REDUCTIONS: [&str; 6] = [".sum()", ".count()", ".any(", ".all(", ".min()", ".max()"];
+
+fn scan_file(file: &Path, text: &str, findings: &mut Vec<Finding>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let hash_ids = hash_idents(&lines);
+
+    // Pass: walk lines, skipping `#[cfg(test)]` items via brace counting.
+    let mut skip_depth = 0i64; // >0: inside a cfg(test) block
+    let mut pending_cfg_test = false;
+    for (idx, raw) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let (code, comment) = split_comment(raw);
+        let code = code.trim_end().to_string();
+
+        if skip_depth > 0 {
+            skip_depth += brace_delta(&code);
+            continue;
+        }
+        if pending_cfg_test {
+            if code.trim_start().starts_with("#[") {
+                continue; // more attributes on the same item
+            }
+            let delta = brace_delta(&code);
+            if delta > 0 {
+                skip_depth = delta;
+            }
+            // Single-line item (e.g. `use mts_sim::Time;` or a one-line fn):
+            // just this line is skipped.
+            pending_cfg_test = false;
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+
+        let waived = |check: &str| {
+            let tag = format!("lint:allow({check})");
+            comment.contains(&tag)
+                || idx
+                    .checked_sub(1)
+                    .and_then(|i| lines.get(i))
+                    .is_some_and(|prev| prev.contains(&tag))
+        };
+        let mut push = |check: &'static str| {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: lineno,
+                check,
+                excerpt: raw.to_string(),
+            });
+        };
+
+        if (code.contains("std::time")
+            || code.contains("Instant::now")
+            || code.contains("SystemTime"))
+            && !waived("wall-clock")
+        {
+            push("wall-clock");
+        }
+        if (code.contains("println!") || has_bare_print(&code)) && !waived("no-print") {
+            push("no-print");
+        }
+        if (code.contains(".unwrap()") || code.contains(".expect(")) && !waived("no-unwrap") {
+            push("no-unwrap");
+        }
+        if !waived("hashmap-iter") && iterates_hash(&lines, idx, &code, &hash_ids) {
+            push("hashmap-iter");
+        }
+    }
+}
+
+/// `print!` that is not the tail of `println!` / `eprint!` / `eprintln!`.
+fn has_bare_print(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("print!") {
+        let abs = from + pos;
+        let prev = code[..abs].chars().next_back();
+        if !matches!(prev, Some('e') | Some('n')) {
+            return true;
+        }
+        from = abs + "print!".len();
+    }
+    false
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0i64;
+    let mut in_str = false;
+    let mut chars = code.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if in_str => {
+                chars.next();
+            }
+            '"' => in_str = !in_str,
+            '{' if !in_str => d += 1,
+            '}' if !in_str => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Does this line start an iteration over a known hash-typed identifier,
+/// without reducing order-insensitively in the same expression? Method
+/// chains split across lines are handled by joining a small window around
+/// the match.
+fn iterates_hash(lines: &[&str], idx: usize, code: &str, hash_ids: &[String]) -> bool {
+    if hash_ids.is_empty() {
+        return false;
+    }
+    let hit = ITER_METHODS.iter().any(|m| code.contains(m));
+    if !hit {
+        return false;
+    }
+    // Receiver: join the previous two lines (chains like `self\n.table\n.iter()`).
+    let lo = idx.saturating_sub(2);
+    let joined: String = lines[lo..=idx]
+        .iter()
+        .map(|l| split_comment(l).0)
+        .collect::<Vec<_>>()
+        .join("");
+    let compact: String = joined.chars().filter(|c| !c.is_whitespace()).collect();
+    let receiver_is_hash = hash_ids.iter().any(|id| {
+        ITER_METHODS.iter().any(|m| {
+            compact.contains(&format!("{id}{m}")) || compact.contains(&format!(".{id}{m}"))
+        })
+    });
+    if !receiver_is_hash {
+        return false;
+    }
+    // Same-statement reduction forgives the iteration. Look ahead to the
+    // end of the statement (a `;` or unindented close) within a few lines.
+    let hi = (idx + 3).min(lines.len() - 1);
+    let stmt: String = lines[idx..=hi]
+        .iter()
+        .map(|l| split_comment(l).0)
+        .collect::<Vec<_>>()
+        .join("");
+    !REDUCTIONS.iter().any(|r| stmt.contains(r))
+}

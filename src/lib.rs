@@ -17,6 +17,9 @@
 //!   complete-mediation auditor (see `OBSERVABILITY.md`).
 //! - [`core`] — the MTS architecture itself: security levels, deployment
 //!   builder, controller, testbed and attack validation.
+//! - [`isocheck`] — static header-space verification of isolation and
+//!   complete mediation over deployed configurations (see
+//!   `VERIFICATION.md`).
 //!
 //! # Examples
 //!
@@ -50,6 +53,7 @@
 pub use mts_apps as apps;
 pub use mts_core as core;
 pub use mts_host as host;
+pub use mts_isocheck as isocheck;
 pub use mts_net as net;
 pub use mts_nic as nic;
 pub use mts_sim as sim;
