@@ -1,0 +1,91 @@
+//! Fault-path benchmarks: what recovery costs.
+//!
+//! Times the machinery the blast-radius experiments exercise — one full
+//! crash-detect-restart-reconcile cell per security level, and the
+//! reconciliation primitive alone (no-op vs full rebuild) — so a
+//! regression in the recovery path shows up as a number, not a feeling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mts_core::controller::Controller;
+use mts_core::reconcile;
+use mts_core::runtime::{RuntimeCfg, World};
+use mts_core::spec::{DeploymentSpec, Scenario, SecurityLevel};
+use mts_faults::{run_cell, FaultCase, FaultOpts};
+use mts_host::ResourceMode;
+use mts_sim::{Dur, Time};
+use mts_vswitch::DatapathKind;
+
+fn bench_opts() -> FaultOpts {
+    FaultOpts {
+        rate_pps: 50_000.0,
+        run_for: Dur::millis(12),
+        fault_at: Time::from_nanos(4_000_000),
+        drain: Dur::millis(10),
+        ..FaultOpts::default()
+    }
+}
+
+/// One full blast-radius cell (clean run + faulty run + recovery +
+/// isocheck) per configuration.
+fn crash_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_cell_crash");
+    group.sample_size(10);
+    let specs = [
+        (
+            "baseline",
+            DeploymentSpec::baseline(
+                DatapathKind::Kernel,
+                ResourceMode::Isolated,
+                2,
+                Scenario::P2v,
+            ),
+        ),
+        (
+            "level2x2",
+            DeploymentSpec::mts(
+                SecurityLevel::Level2 { compartments: 2 },
+                DatapathKind::Kernel,
+                ResourceMode::Isolated,
+                Scenario::P2v,
+            ),
+        ),
+    ];
+    for (name, spec) in specs {
+        group.bench_function(name, |b| {
+            b.iter(|| run_cell(spec, FaultCase::Crash, bench_opts()).expect("cell runs"))
+        });
+    }
+    group.finish();
+}
+
+/// The reconciliation primitive: a no-op pass over a correct world vs a
+/// full rebuild after a flow-table wipe.
+fn reconcile_primitive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconcile");
+    let spec = DeploymentSpec::mts(
+        SecurityLevel::Level2 { compartments: 2 },
+        DatapathKind::Kernel,
+        ResourceMode::Isolated,
+        Scenario::P2v,
+    );
+    let make_world = || {
+        let d = Controller::deploy(spec).expect("deployable");
+        World::new(d, RuntimeCfg::for_spec(&spec), 1)
+    };
+    group.bench_function("noop", |b| {
+        let mut w = make_world();
+        b.iter(|| reconcile::reconcile(&mut w).churn())
+    });
+    group.bench_function("rebuild_after_wipe", |b| {
+        let mut w = make_world();
+        b.iter(|| {
+            w.vswitches[0].inst.sw.clear();
+            w.vswitches[0].rules_dirty = true;
+            reconcile::reconcile(&mut w).churn()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, crash_cell, reconcile_primitive);
+criterion_main!(benches);

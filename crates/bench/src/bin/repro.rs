@@ -5,7 +5,7 @@
 //! ```text
 //! repro [--quick] [--out DIR] \
 //!   [--trace-out FILE] [--metrics-out FILE] \
-//!   [all|verify|fig5|fig6|pktsize|table1|vfcount|isolation|noisy|overlay|billing|trace]
+//!   [all|verify|fig5|fig6|pktsize|table1|vfcount|isolation|noisy|overlay|billing|trace|faults]
 //! ```
 //!
 //! Prints aligned tables to stdout and writes CSV files under `--out`
@@ -26,6 +26,14 @@
 //! a Chrome trace-event file (open in <https://ui.perfetto.dev>), a JSONL
 //! event log (`FILE.jsonl` sibling), and a Prometheus-style metrics
 //! snapshot. See `OBSERVABILITY.md`.
+//!
+//! The `faults` target runs the blast-radius and recovery panel
+//! (`mts-faults`, see `ROBUSTNESS.md`): every security level under every
+//! fault scenario, with the supervisor recovering the deployment. It
+//! self-checks the headline containment claims (Level-2 compartment kill
+//! loses zero frames of other compartments; Baseline loses everyone's),
+//! the `offered = delivered + Σ typed drops` accounting identity, and the
+//! post-recovery isolation verification — exiting nonzero on any failure.
 
 use mts_bench::figures::{
     fig5_panel, fig6_panel, isolation_matrix, pktsize_sweep, render_fig6, vf_count_table,
@@ -209,6 +217,89 @@ fn run_trace(quick: bool, trace_out: Option<&Path>, metrics_out: Option<&Path>) 
     }
 }
 
+/// The blast-radius and recovery panel (`ROBUSTNESS.md`), with the
+/// acceptance claims checked inline.
+fn run_faults(quick: bool, out: &PathBuf) {
+    use mts_faults::{blast_radius_panel, experiment, FaultOpts};
+    use mts_sim::Dur;
+
+    let opts = if quick {
+        FaultOpts {
+            rate_pps: 100_000.0,
+            run_for: Dur::millis(15),
+            fault_at: Time::from_nanos(5_000_000),
+            drain: Dur::millis(12),
+            ..FaultOpts::default()
+        }
+    } else {
+        FaultOpts::default()
+    };
+    let cells = match blast_radius_panel(opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("repro: faults: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", experiment::render(&cells));
+    save(out, "faults_blast_radius.csv", &experiment::to_csv(&cells));
+
+    // --- Self-checks: the PR's acceptance claims, on the real panel. ---
+    let mut failed = false;
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("repro: faults: FAILED: {what}");
+            failed = true;
+        }
+    };
+    for c in &cells {
+        check(
+            c.drop_sum_ok,
+            &format!("accounting identity broken: {} / {}", c.config, c.fault),
+        );
+        if let Some(v) = c.isocheck_violations {
+            check(
+                v == 0,
+                &format!(
+                    "post-recovery isocheck violations: {} / {}",
+                    c.config, c.fault
+                ),
+            );
+        }
+    }
+    let crash: Vec<_> = cells.iter().filter(|c| c.fault == "crash").collect();
+    for c in &crash {
+        if c.config.contains("L2") {
+            check(
+                c.affected == vec![0, 2],
+                "L2 compartment kill must affect exactly compartment 0's tenants",
+            );
+            check(
+                c.offered[1] == c.delivered[1] && c.offered[3] == c.delivered[3],
+                "L2 compartment kill must lose zero frames of the other compartment",
+            );
+            check(c.recover.is_some(), "L2 crash must be recovered");
+        } else {
+            check(
+                c.affected == vec![0, 1, 2, 3],
+                &format!(
+                    "{}: shared-vswitch crash must affect every tenant",
+                    c.config
+                ),
+            );
+        }
+    }
+    if failed {
+        eprintln!("repro: fault panel FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "faults: {} cells clean; L2 compartment kill contained to one compartment, \
+         accounting identity held everywhere",
+        cells.len()
+    );
+}
+
 /// The static verification suite: every shipped compartmentalized
 /// configuration must verify clean, and every seeded misconfiguration must
 /// be detected with a counterexample witness.
@@ -292,6 +383,7 @@ fn main() {
     for what in &args.what {
         match what.as_str() {
             "verify" => run_verify(),
+            "faults" => run_faults(args.quick, &args.out),
             "fig5" => run_fig5(opts, &args.out),
             "fig6" => run_fig6(opts, &args.out),
             "pktsize" => {
@@ -439,6 +531,7 @@ fn main() {
             }
             "all" => {
                 run_verify();
+                run_faults(args.quick, &args.out);
                 println!("== Table 1 ==\n{}", survey::render_table());
                 println!("{}", vf_count_table());
                 println!("{}", isolation_matrix());

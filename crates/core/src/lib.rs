@@ -23,6 +23,12 @@
 //! - [`billing`] — per-tenant CPU/memory/I/O accounting (Sec. 6).
 //! - [`overlay`] — VXLAN overlay rules and generators (Sec. 3.2).
 //! - [`perfiso`] — the noisy-neighbor performance-isolation experiment.
+//! - [`reconcile`] — controller reconciliation: snapshot of the desired
+//!   dataplane state and the idempotent re-programming pass that restores
+//!   it after faults.
+//! - [`supervisor`] — the vswitch-VM watchdog: heartbeat failure
+//!   detection, capped exponential-backoff restarts, degraded-mode
+//!   fallback (see `mts-faults`).
 //! - [`survey`] — the Table 1 vswitch design survey as queryable data.
 //! - [`results`] — measurement types, table formatting and CSV export.
 
@@ -31,9 +37,11 @@ pub mod billing;
 pub mod controller;
 pub mod overlay;
 pub mod perfiso;
+pub mod reconcile;
 pub mod results;
 pub mod runtime;
 pub mod spec;
+pub mod supervisor;
 pub mod survey;
 pub mod tcphost;
 pub mod testbed;
@@ -45,8 +53,10 @@ pub use billing::{bill, BillingReport, TenantBill};
 pub use controller::Controller;
 pub use overlay::OverlayConfig;
 pub use perfiso::{noisy_neighbor, NoisyNeighborResult, NoisyOpts};
+pub use reconcile::{reconcile, DesiredConfig, ReconcileReport};
 pub use results::{LatencySummary, Measurement, ThroughputReport};
 pub use spec::{DeploymentSpec, ResourceMode, Scenario, SecurityLevel};
+pub use supervisor::{start_supervisor, RecoveryEvent, RecoveryKind, Supervisor, SupervisorCfg};
 pub use testbed::Testbed;
 pub use vfplan::{AddressPlan, VfBudget};
 pub use workloads::{Workload, WorkloadResult};

@@ -143,6 +143,21 @@ pub struct TenantRt {
     pub vf: Vec<(PfId, VfId)>,
 }
 
+/// Liveness of a vswitch VM, driven by fault injection (`mts-faults`) and
+/// the [`crate::supervisor`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum VswitchHealth {
+    /// Processing frames normally.
+    #[default]
+    Healthy,
+    /// Alive but not making progress: frames die, heartbeats stop, flow
+    /// state survives (a hang can clear by itself).
+    Hung,
+    /// The VM is dead. Flow state is gone; only a supervisor restart plus
+    /// controller reconciliation brings the compartment back.
+    Down,
+}
+
 /// Runtime state of one vswitch (compartment or Baseline).
 pub struct VswitchRt {
     /// Port map and flow tables.
@@ -157,6 +172,14 @@ pub struct VswitchRt {
     pub inflight: HashMap<PortNo, usize>,
     /// Compartments sharing each of this switch's cores (for jitter).
     pub sharers: u32,
+    /// VM liveness (fault injection).
+    pub health: VswitchHealth,
+    /// CPU slowdown multiplier (fault injection; 1.0 = nominal).
+    pub slow_factor: f64,
+    /// Flow rules diverge from the controller's desired state (wiped or
+    /// partially lost); drops in this window are typed
+    /// [`DropCause::RuleLostRaceWindow`] until reconciliation clears it.
+    pub rules_dirty: bool,
 }
 
 /// Where frames leaving a physical port end up.
@@ -186,6 +209,9 @@ pub struct SinkRec {
     pub latency_by_flow: Vec<Histogram>,
     /// Per-flow receive counts inside the window.
     pub per_flow: Vec<u64>,
+    /// Per-flow send counts inside the window (offered load per tenant,
+    /// for blast-radius accounting).
+    pub sent_by_flow: Vec<u64>,
     /// Frames sent inside the window (stamped by the LG).
     pub sent: u64,
     /// Frames received inside the window.
@@ -233,8 +259,29 @@ pub struct World {
     pub sink: SinkRec,
     /// Drop counters by cause.
     pub drops: BTreeMap<DropCause, u64>,
-    /// Deterministic randomness.
+    /// Deterministic randomness (traffic path: IRQ jitter, tx drain).
     pub rng: DetRng,
+    /// Independent RNG stream for fault selection (`mts-faults`): fault
+    /// draws must never perturb the traffic stream above.
+    pub fault_rng: DetRng,
+    /// Physical link state per port, both directions (fault injection).
+    pub link_up: Vec<bool>,
+    /// Per-tenant vhost channel stall deadline (fault injection): frames
+    /// crossing a tenant's vhost channel are delayed to this instant.
+    pub vhost_stall_until: Vec<Time>,
+    /// The controller channel is unreachable until this instant; restarts
+    /// and reconciliation passes wait it out (fault injection).
+    pub controller_down_until: Time,
+    /// Remaining immediate re-crashes on supervisor restart, per vswitch
+    /// (a crash-looping VM, set by fault injection).
+    pub crashloop: Vec<u32>,
+    /// Tenants marked degraded after an exhausted restart budget.
+    pub degraded: Vec<bool>,
+    /// Desired dataplane state for controller reconciliation, captured at
+    /// deploy time.
+    pub desired: Option<crate::reconcile::DesiredConfig>,
+    /// Supervisor state (heartbeats, backoff, recovery log), when started.
+    pub supervisor: Option<crate::supervisor::Supervisor>,
     /// Diagnostics: worst hairpin queueing delay observed.
     pub max_hairpin_wait: Dur,
     /// Diagnostics: worst PCIe DMA queueing delay observed.
@@ -342,6 +389,9 @@ impl World {
                 kernel,
                 inflight: HashMap::new(),
                 sharers,
+                health: VswitchHealth::Healthy,
+                slow_factor: 1.0,
+                rules_dirty: false,
             });
         }
 
@@ -392,7 +442,9 @@ impl World {
         }
 
         let model = *d.nic.model();
-        World {
+        let n_vswitches = vswitches.len();
+        let root = DetRng::new(seed);
+        let mut w = World {
             spec,
             plan: d.plan,
             nic: d.nic,
@@ -408,16 +460,29 @@ impl World {
             pf_owner,
             sink: SinkRec {
                 per_flow: vec![0; spec.tenants as usize],
+                sent_by_flow: vec![0; spec.tenants as usize],
                 latency_by_flow: (0..spec.tenants).map(|_| Histogram::new()).collect(),
                 ..SinkRec::default()
             },
             drops: BTreeMap::new(),
-            rng: DetRng::new(seed),
+            rng: root.clone(),
+            fault_rng: root.derive("faults"),
+            link_up: vec![true; ports],
+            vhost_stall_until: vec![Time::ZERO; spec.tenants as usize],
+            controller_down_until: Time::ZERO,
+            crashloop: vec![0; n_vswitches],
+            degraded: vec![false; spec.tenants as usize],
+            desired: None,
+            supervisor: None,
             max_hairpin_wait: Dur::ZERO,
             max_dma_wait: Dur::ZERO,
             capture: None,
             telemetry: Telemetry::disabled(),
-        }
+        };
+        // The controller remembers what it programmed: the reconciliation
+        // target after any fault (see `crate::reconcile`).
+        w.desired = Some(crate::reconcile::DesiredConfig::capture(&w));
+        w
     }
 
     /// Increments a drop counter (and its telemetry mirror).
@@ -441,6 +506,15 @@ impl World {
     /// Total drops across causes.
     pub fn total_drops(&self) -> u64 {
         self.drops.values().sum()
+    }
+
+    /// Drops attributable to injected faults (typed `Fault*` causes).
+    pub fn fault_drops(&self) -> u64 {
+        self.drops
+            .iter()
+            .filter(|(c, _)| c.is_fault())
+            .map(|(_, n)| *n)
+            .sum()
     }
 
     /// User id for core accounting: distinguishes compartments/tenants.
@@ -495,6 +569,10 @@ fn nic_endpoint(w: &World, pf: PfId, port: NicPort) -> NicEndpoint {
 /// Injects a frame from the external side onto physical port `pf`.
 pub fn wire_inject(w: &mut World, e: &mut Sim, pf: PfId, frame: Frame) {
     let now = e.now();
+    if !w.link_up[pf.0 as usize] {
+        w.drop_frame_traced(now, frame.id, DropCause::LinkDown);
+        return;
+    }
     if let Some(rec) = w.telemetry.rec() {
         rec.hop(frame.id, now, Hop::WireIngress { pf: pf.0 });
         rec.metrics
@@ -582,6 +660,11 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
             NicPort::Wire => {
                 let frame = d.frame;
                 e.schedule_at(t, move |w, e| {
+                    if !w.link_up[pf.0 as usize] {
+                        let now = e.now();
+                        w.drop_frame_traced(now, frame.id, DropCause::LinkDown);
+                        return;
+                    }
                     let len = u64::from(frame.wire_len());
                     let arr = w.wires_out[pf.0 as usize].transmit(e.now(), len);
                     e.schedule_at(arr, move |w, e| external_rx(w, e, pf, frame));
@@ -661,6 +744,11 @@ pub fn vswitch_rx(
     via_vhost: bool,
 ) {
     let now = e.now();
+    if w.vswitches[i].health != VswitchHealth::Healthy {
+        // The VM is dead or wedged: its virtio/VF queues are not served.
+        w.drop_frame_traced(now, frame.id, DropCause::VswitchDown);
+        return;
+    }
     let vs = &mut w.vswitches[i];
     let cap = w.cfg.rx_ring;
     let queued = vs.inflight.entry(port).or_insert(0);
@@ -707,6 +795,10 @@ pub fn vswitch_rx(
     if via_vhost {
         cost += w.cfg.vhost.copy_cost_amortized(&frame, tso);
     }
+    if vs.slow_factor > 1.0 {
+        // Injected slowdown (CPU steal, thermal throttling).
+        cost = Dur::nanos((cost.as_nanos() as f64 * vs.slow_factor) as u64);
+    }
 
     // Interrupt latency for the kernel path; scheduler jitter when several
     // compartments share the core (Fig. 5b's variance).
@@ -742,6 +834,13 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
     if let Some(q) = vs.inflight.get_mut(&port) {
         *q = q.saturating_sub(1);
     }
+    if vs.health != VswitchHealth::Healthy {
+        // The VM died between rx admission and the datapath grant: frames
+        // already queued go down with it.
+        w.drop_frame_traced(now, frame.id, DropCause::VswitchDown);
+        return;
+    }
+    let vs = &mut w.vswitches[i];
     // Proxy-ARP (Sec. 3.2): the controller configured this vswitch as the
     // ARP responder for its tenants' gateway IPs; requests are answered
     // directly out of the ingress port.
@@ -772,6 +871,18 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
     let misses_before = vs.inst.sw.cache_stats().misses;
     let outputs = vs.inst.sw.process(port, frame);
     let missed = vs.inst.sw.cache_stats().misses > misses_before;
+    if outputs.is_empty() {
+        // The pipeline swallowed the frame: no rule matched (or a rule
+        // dropped it). Inside a rule-loss race window this is typed as the
+        // fault it is; otherwise it is an ordinary table miss.
+        let cause = if vs.rules_dirty {
+            DropCause::RuleLostRaceWindow
+        } else {
+            DropCause::FlowMiss
+        };
+        w.drop_frame_traced(now, fid, cause);
+        return;
+    }
 
     // Charge the extra slow-path cost and all tx-side costs.
     let costs = vs.costs;
@@ -859,6 +970,11 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
                 let mut arr = t + w.cfg.vhost.guest_notify;
                 arr += w.cfg.vhost.batching_latency(w.cfg.offered_pps);
                 let t_idx = tenant as usize;
+                // An injected vhost stall holds the channel; frames queue
+                // and drain when it clears (delay, not loss).
+                if let Some(stall) = w.vhost_stall_until.get(t_idx) {
+                    arr = arr.max(*stall);
+                }
                 e.schedule_at(arr, move |w, e| {
                     tenant_rx(w, e, t_idx, side, out_frame);
                 });
@@ -1010,7 +1126,10 @@ fn tenant_bridge_exec(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Fra
     // has exactly one switch).
     for out_side in outs {
         let frame = frame.clone();
-        let arr = now + w.cfg.host_notify;
+        let mut arr = now + w.cfg.host_notify;
+        if let Some(stall) = w.vhost_stall_until.get(t) {
+            arr = arr.max(*stall);
+        }
         let tenant_idx = t as u8;
         e.schedule_at(arr, move |w, e| {
             let Some((i, port)) = w.vswitches.iter().enumerate().find_map(|(i, vs)| {
@@ -1120,6 +1239,12 @@ fn generator_tick(
     .stamped(now.as_nanos());
     if w.sink.in_window(now) {
         w.sink.sent += 1;
+        if let Some(t) = w.plan.tenant_by_ip(dst_ip) {
+            let idx = t.index as usize;
+            if idx < w.sink.sent_by_flow.len() {
+                w.sink.sent_by_flow[idx] += 1;
+            }
+        }
     }
     wire_inject(w, e, PfId(0), frame);
     e.schedule_at(now + gap, move |w, e| {

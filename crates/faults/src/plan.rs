@@ -1,0 +1,391 @@
+//! The fault-plan DSL: typed faults pinned to simulated-time instants.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultEvent`]s. Plans are values
+//! — they can be built with [`FaultPlan::at`], merged, or parsed from a
+//! compact text form, and the same plan against the same seed always
+//! reproduces the same run.
+//!
+//! Text form, one event per line (`#` comments and blank lines ignored):
+//!
+//! ```text
+//! @10ms  crash           vswitch=0 crashloop=2
+//! @10ms  hang            vswitch=1 heal=5ms
+//! @10ms  slow            vswitch=0 factor=4 heal=5ms
+//! @10ms  flush-veb       pf=1
+//! @10ms  wipe-flows      vswitch=0
+//! @10ms  lose-rules      vswitch=0 fraction=0.5
+//! @10ms  link-flap       pf=1 down=2ms
+//! @10ms  vhost-stall     tenant=2 stall=3ms
+//! @10ms  controller-loss down=20ms
+//! ```
+//!
+//! Durations take `ns`, `us`, `ms` or `s` suffixes.
+
+use mts_sim::{Dur, Time};
+use std::fmt;
+
+/// One kind of injectable fault.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum FaultKind {
+    /// The vswitch VM dies: frames drop, heartbeats stop, flow state is
+    /// lost. `crashloop` further restart attempts fail before one sticks.
+    CrashVswitch {
+        /// Victim vswitch index.
+        vswitch: usize,
+        /// Number of supervisor restart attempts that fail.
+        crashloop: u32,
+    },
+    /// The vswitch VM hangs: frames drop, heartbeats stop, flow state
+    /// survives. Heals by itself after `heal_after` if given; otherwise
+    /// only a supervisor restart clears it.
+    HangVswitch {
+        /// Victim vswitch index.
+        vswitch: usize,
+        /// Self-heal delay (None: hung until restarted).
+        heal_after: Option<Dur>,
+    },
+    /// The vswitch datapath slows down by `factor` (CPU contention /
+    /// throttling), recovering after `heal_after`.
+    SlowVswitch {
+        /// Victim vswitch index.
+        vswitch: usize,
+        /// Per-frame cost multiplier (> 1.0).
+        factor: f64,
+        /// When nominal speed returns.
+        heal_after: Dur,
+    },
+    /// The NIC VEB forwarding table of one PF is flushed (firmware reset):
+    /// learned and operator-installed entries vanish; entries derived from
+    /// VF registers survive.
+    FlushVeb {
+        /// Victim physical port.
+        pf: u8,
+    },
+    /// Every flow rule of one vswitch is wiped (datapath restart without
+    /// VM death): the switch stays up but forwards nothing.
+    WipeFlows {
+        /// Victim vswitch index.
+        vswitch: usize,
+    },
+    /// Each flow rule of one vswitch is independently lost with
+    /// probability `fraction` (partial state corruption).
+    LoseRules {
+        /// Victim vswitch index.
+        vswitch: usize,
+        /// Per-rule loss probability in `[0, 1]`.
+        fraction: f64,
+    },
+    /// A physical link goes down for `down_for`, then returns.
+    LinkFlap {
+        /// Victim physical port.
+        pf: u8,
+        /// Outage length.
+        down_for: Dur,
+    },
+    /// A tenant's vhost channel stalls: frames queue (delayed, not
+    /// dropped) until the stall ends.
+    VhostStall {
+        /// Victim tenant index.
+        tenant: u8,
+        /// Stall length.
+        stall_for: Dur,
+    },
+    /// The controller channel is unreachable for `down_for`: restarts and
+    /// reconciliation defer until it returns.
+    ControllerLoss {
+        /// Outage length.
+        down_for: Dur,
+    },
+}
+
+impl FaultKind {
+    /// Stable kebab-case label (metrics, reports, the text DSL).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::CrashVswitch { .. } => "crash",
+            FaultKind::HangVswitch { .. } => "hang",
+            FaultKind::SlowVswitch { .. } => "slow",
+            FaultKind::FlushVeb { .. } => "flush-veb",
+            FaultKind::WipeFlows { .. } => "wipe-flows",
+            FaultKind::LoseRules { .. } => "lose-rules",
+            FaultKind::LinkFlap { .. } => "link-flap",
+            FaultKind::VhostStall { .. } => "vhost-stall",
+            FaultKind::ControllerLoss { .. } => "controller-loss",
+        }
+    }
+}
+
+/// A fault pinned to an instant.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FaultEvent {
+    /// When the fault strikes (simulated time).
+    pub at: Time,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// An ordered fault schedule.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FaultPlan {
+    /// The events, in insertion order (the engine orders by time anyway).
+    pub events: Vec<FaultEvent>,
+}
+
+/// A parse failure, with the offending line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlanParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; traffic is byte-identical to a run
+    /// without fault machinery).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Builder: adds a fault at an instant.
+    pub fn at(mut self, at: Time, kind: FaultKind) -> FaultPlan {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Parses the text form documented at module level.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let err = |reason: String| PlanParseError { line, reason };
+            let code = raw.split('#').next().unwrap_or("").trim();
+            if code.is_empty() {
+                continue;
+            }
+            let mut words = code.split_whitespace();
+            let at_tok = words.next().unwrap_or("");
+            let at = at_tok
+                .strip_prefix('@')
+                .ok_or_else(|| err(format!("expected @<time>, got '{at_tok}'")))?;
+            let at = Time::ZERO + parse_dur(at).map_err(&err)?;
+            let verb = words
+                .next()
+                .ok_or_else(|| err("missing fault kind".into()))?;
+            let mut kv = std::collections::BTreeMap::new();
+            for w in words {
+                let (k, v) = w
+                    .split_once('=')
+                    .ok_or_else(|| err(format!("expected key=value, got '{w}'")))?;
+                kv.insert(k, v);
+            }
+            let get = |k: &str| -> Result<&str, PlanParseError> {
+                kv.get(k)
+                    .copied()
+                    .ok_or_else(|| err(format!("{verb} requires {k}=")))
+            };
+            let usize_of = |k: &str| -> Result<usize, PlanParseError> {
+                get(k)?.parse().map_err(|_| err(format!("bad {k}= value")))
+            };
+            let u8_of = |k: &str| -> Result<u8, PlanParseError> {
+                get(k)?.parse().map_err(|_| err(format!("bad {k}= value")))
+            };
+            let dur_of =
+                |k: &str| -> Result<Dur, PlanParseError> { parse_dur(get(k)?).map_err(&err) };
+            let kind = match verb {
+                "crash" => FaultKind::CrashVswitch {
+                    vswitch: usize_of("vswitch")?,
+                    crashloop: kv
+                        .get("crashloop")
+                        .map(|v| v.parse().map_err(|_| err("bad crashloop= value".into())))
+                        .transpose()?
+                        .unwrap_or(0),
+                },
+                "hang" => FaultKind::HangVswitch {
+                    vswitch: usize_of("vswitch")?,
+                    heal_after: kv
+                        .get("heal")
+                        .map(|v| parse_dur(v).map_err(&err))
+                        .transpose()?,
+                },
+                "slow" => FaultKind::SlowVswitch {
+                    vswitch: usize_of("vswitch")?,
+                    factor: get("factor")?
+                        .parse()
+                        .map_err(|_| err("bad factor= value".into()))?,
+                    heal_after: dur_of("heal")?,
+                },
+                "flush-veb" => FaultKind::FlushVeb { pf: u8_of("pf")? },
+                "wipe-flows" => FaultKind::WipeFlows {
+                    vswitch: usize_of("vswitch")?,
+                },
+                "lose-rules" => FaultKind::LoseRules {
+                    vswitch: usize_of("vswitch")?,
+                    fraction: get("fraction")?
+                        .parse()
+                        .map_err(|_| err("bad fraction= value".into()))?,
+                },
+                "link-flap" => FaultKind::LinkFlap {
+                    pf: u8_of("pf")?,
+                    down_for: dur_of("down")?,
+                },
+                "vhost-stall" => FaultKind::VhostStall {
+                    tenant: u8_of("tenant")?,
+                    stall_for: dur_of("stall")?,
+                },
+                "controller-loss" => FaultKind::ControllerLoss {
+                    down_for: dur_of("down")?,
+                },
+                other => return Err(err(format!("unknown fault kind '{other}'"))),
+            };
+            plan.events.push(FaultEvent { at, kind });
+        }
+        Ok(plan)
+    }
+}
+
+/// Parses `123ns` / `45us` / `10ms` / `2s` (integer or fractional).
+fn parse_dur(s: &str) -> Result<Dur, String> {
+    let (num, scale) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1e3)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e6)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1e9)
+    } else {
+        return Err(format!("duration '{s}' needs a ns/us/ms/s suffix"));
+    };
+    let v: f64 = num
+        .parse()
+        .map_err(|_| format!("bad duration number '{num}'"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("duration '{s}' out of range"));
+    }
+    Ok(Dur::nanos((v * scale).round() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_parser_agree() {
+        let text = "
+            # blast-radius scenario
+            @10ms crash vswitch=0 crashloop=2
+            @10ms controller-loss down=20ms   # concurrent
+            @12.5us lose-rules vswitch=1 fraction=0.25
+            @1s link-flap pf=1 down=2ms
+            @3ms vhost-stall tenant=2 stall=500us
+            @4ms hang vswitch=0 heal=5ms
+            @5ms slow vswitch=1 factor=4 heal=1ms
+            @6ms flush-veb pf=0
+            @7ms wipe-flows vswitch=0
+        ";
+        let parsed = FaultPlan::parse(text).unwrap();
+        let built = FaultPlan::new()
+            .at(
+                Time::from_nanos(10_000_000),
+                FaultKind::CrashVswitch {
+                    vswitch: 0,
+                    crashloop: 2,
+                },
+            )
+            .at(
+                Time::from_nanos(10_000_000),
+                FaultKind::ControllerLoss {
+                    down_for: Dur::millis(20),
+                },
+            )
+            .at(
+                Time::from_nanos(12_500),
+                FaultKind::LoseRules {
+                    vswitch: 1,
+                    fraction: 0.25,
+                },
+            )
+            .at(
+                Time::from_nanos(1_000_000_000),
+                FaultKind::LinkFlap {
+                    pf: 1,
+                    down_for: Dur::millis(2),
+                },
+            )
+            .at(
+                Time::from_nanos(3_000_000),
+                FaultKind::VhostStall {
+                    tenant: 2,
+                    stall_for: Dur::micros(500),
+                },
+            )
+            .at(
+                Time::from_nanos(4_000_000),
+                FaultKind::HangVswitch {
+                    vswitch: 0,
+                    heal_after: Some(Dur::millis(5)),
+                },
+            )
+            .at(
+                Time::from_nanos(5_000_000),
+                FaultKind::SlowVswitch {
+                    vswitch: 1,
+                    factor: 4.0,
+                    heal_after: Dur::millis(1),
+                },
+            )
+            .at(Time::from_nanos(6_000_000), FaultKind::FlushVeb { pf: 0 })
+            .at(
+                Time::from_nanos(7_000_000),
+                FaultKind::WipeFlows { vswitch: 0 },
+            );
+        assert_eq!(parsed, built);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = FaultPlan::parse("@1ms crash vswitch=0\nnope").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = FaultPlan::parse("@1ms crash").unwrap_err();
+        assert!(e.reason.contains("vswitch="), "{e}");
+        let e = FaultPlan::parse("@1x crash vswitch=0").unwrap_err();
+        assert!(e.reason.contains("suffix"), "{e}");
+        let e = FaultPlan::parse("@1ms teleport vswitch=0").unwrap_err();
+        assert!(e.reason.contains("unknown"), "{e}");
+        let e = FaultPlan::parse("1ms crash vswitch=0").unwrap_err();
+        assert!(e.reason.contains("@"), "{e}");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            FaultKind::CrashVswitch {
+                vswitch: 0,
+                crashloop: 0
+            }
+            .label(),
+            "crash"
+        );
+        assert_eq!(
+            FaultKind::ControllerLoss {
+                down_for: Dur::ZERO
+            }
+            .label(),
+            "controller-loss"
+        );
+    }
+}

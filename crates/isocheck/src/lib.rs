@@ -75,6 +75,15 @@ pub fn verify(d: &Deployment) -> Result<VerifyReport, DomainOverflow> {
     Ok(analyze(&Model::of(d)?))
 }
 
+/// Statically verifies the *live* state of a runtime world — the
+/// post-recovery pre-flight check: after a supervisor restart plus
+/// controller reconciliation, the recovered NIC + vswitch configuration
+/// must re-establish the same isolation verdicts as the original
+/// deployment (see `mts-faults`).
+pub fn verify_world(w: &mts_core::runtime::World) -> Result<VerifyReport, DomainOverflow> {
+    Ok(analyze(&Model::of_world(w)?))
+}
+
 /// Builds a deployment from a spec (as the Sec. 4 testbed does) and
 /// verifies it.
 pub fn verify_spec(spec: DeploymentSpec) -> Result<VerifyReport, VerifyError> {

@@ -10,9 +10,11 @@
 //! hold for every possible learning history.
 
 use crate::header::{Cube, DomainOverflow, Domains, DomainsBuilder, Field, HeaderSet};
-use mts_core::controller::{Deployment, PortAttach};
+use mts_core::controller::{Deployment, PortAttach, VswitchInstance};
+use mts_core::runtime::World;
+use mts_core::vfplan::AddressPlan;
 use mts_net::{EtherType, MacAddr};
-use mts_nic::{FilterAction, FilterRule, NicPort, PfId, VfConfig, VfId};
+use mts_nic::{FilterAction, FilterRule, NicPort, PfId, SriovNic, VfConfig, VfId};
 use mts_vswitch::{Action, FlowMatch, FlowRule, VlanMatch};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -146,13 +148,49 @@ pub struct Model {
 impl Model {
     /// Extracts the model from a configured deployment.
     pub fn of(d: &Deployment) -> Result<Model, DomainOverflow> {
+        let insts: Vec<&VswitchInstance> = d.vswitches.iter().collect();
+        Model::of_parts(
+            d.spec.label(),
+            d.spec.level.compartmentalized(),
+            d.ports,
+            &d.plan,
+            &d.nic,
+            &insts,
+        )
+    }
+
+    /// Extracts the model from a *live* runtime world — the same analysis
+    /// over the current NIC and vswitch state instead of the deploy-time
+    /// snapshot, so recovery paths (supervisor restart + reconciliation)
+    /// can be re-verified after faults.
+    pub fn of_world(w: &World) -> Result<Model, DomainOverflow> {
+        let insts: Vec<&VswitchInstance> = w.vswitches.iter().map(|vs| &vs.inst).collect();
+        Model::of_parts(
+            w.spec.label(),
+            w.spec.level.compartmentalized(),
+            w.wires_out.len() as u8,
+            &w.plan,
+            &w.nic,
+            &insts,
+        )
+    }
+
+    /// Extracts the model from its constituent parts (deploy-time or live).
+    pub fn of_parts(
+        label: String,
+        compartmentalized: bool,
+        ports: u8,
+        plan: &AddressPlan,
+        nic: &SriovNic,
+        insts: &[&VswitchInstance],
+    ) -> Result<Model, DomainOverflow> {
         let mut b = DomainsBuilder::new();
 
         // Seed domains from the address plan.
-        b.add_mac(d.plan.lg_mac);
-        b.add_mac(d.plan.sink_mac);
-        b.add_ip(d.plan.lg_ip);
-        for t in &d.plan.tenants {
+        b.add_mac(plan.lg_mac);
+        b.add_mac(plan.sink_mac);
+        b.add_ip(plan.lg_ip);
+        for t in &plan.tenants {
             b.add_vlan(t.vlan);
             b.add_ip(t.ip);
             b.add_ip(t.gw_ip);
@@ -163,8 +201,8 @@ impl Model {
 
         // …from the NIC state…
         let mut pfs = Vec::new();
-        for p in 0..d.ports {
-            let pf = d.nic.pf(PfId(p)).map_err(|_| DomainOverflow {
+        for p in 0..ports {
+            let pf = nic.pf(PfId(p)).map_err(|_| DomainOverflow {
                 field: "pf",
                 needed: p as usize + 1,
                 cap: 0,
@@ -196,7 +234,7 @@ impl Model {
         }
 
         // …and from the flow pipelines.
-        for inst in &d.vswitches {
+        for inst in insts {
             for (_, rule) in inst.sw.dump_rules() {
                 seed_from_match(&mut b, &rule.m);
                 for a in &rule.actions {
@@ -224,9 +262,8 @@ impl Model {
         let dom = b.build()?;
 
         // PF models: filters in evaluation order (stable priority-desc).
-        for p in 0..d.ports {
-            let pf = d
-                .nic
+        for p in 0..ports {
+            let pf = nic
                 .pf(PfId(p))
                 .unwrap_or_else(|_| unreachable!("pf {p} checked above"));
             let mut filters: Vec<(usize, FilterRule)> = pf
@@ -250,7 +287,7 @@ impl Model {
         // Vswitch models and VF roles.
         let mut vswitches = Vec::new();
         let mut vf_role: BTreeMap<(u8, u8), VfRole> = BTreeMap::new();
-        for (i, inst) in d.vswitches.iter().enumerate() {
+        for (i, inst) in insts.iter().enumerate() {
             let mut tables: Vec<Vec<FlowRule>> = Vec::new();
             for (t, rule) in inst.sw.dump_rules() {
                 if tables.len() <= t as usize {
@@ -282,7 +319,7 @@ impl Model {
         }
 
         let mut tenants = Vec::new();
-        for t in &d.plan.tenants {
+        for t in &plan.tenants {
             let mut vfs = Vec::new();
             for (r, mac) in &t.vf {
                 vfs.push((r.pf.0, r.vf.0, *mac));
@@ -297,8 +334,8 @@ impl Model {
 
         Ok(Model {
             dom,
-            label: d.spec.label(),
-            compartmentalized: d.spec.level.compartmentalized(),
+            label,
+            compartmentalized,
             pfs,
             vswitches,
             vf_role,

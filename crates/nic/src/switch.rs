@@ -156,6 +156,39 @@ impl PfSwitch {
         self.table.insert((vlan, mac.as_u64()), Entry::Static(port));
     }
 
+    /// Removes a static MAC entry, returning whether one was present.
+    /// Learned entries under the same key are left alone (use
+    /// [`PfSwitch::flush_table`] for those).
+    pub fn remove_static_mac(&mut self, vlan: u16, mac: MacAddr) -> bool {
+        match self.table.get(&(vlan, mac.as_u64())) {
+            Some(Entry::Static(_)) => {
+                self.table.remove(&(vlan, mac.as_u64()));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Flushes the forwarding table: every learned entry *and* every
+    /// operator-provisioned static is lost, as after a firmware reset or an
+    /// injected VEB fault. Entries derived from VF configurations survive —
+    /// they live in per-VF registers and are re-populated by the hardware —
+    /// so VF-addressed unicast keeps working while wire-side destinations
+    /// degrade to unknown-unicast flooding until the controller reconciles.
+    pub fn flush_table(&mut self) {
+        self.table.clear();
+        // Collect first: the table borrow must end before reinsertion.
+        let vf_entries: Vec<(u16, u64, VfId)> = self
+            .vfs
+            .iter()
+            .map(|(id, cfg)| (cfg.vlan.unwrap_or(0), cfg.mac.as_u64(), *id))
+            .collect();
+        for (vlan, mac, id) in vf_entries {
+            self.table
+                .insert((vlan, mac), Entry::Static(NicPort::Vf(id)));
+        }
+    }
+
     /// Returns all *static* (configured, non-learned) MAC table entries as
     /// `(vlan, mac, port)` triples, sorted by `(vlan, mac)` so iteration is
     /// deterministic. This is the configured forwarding state the
@@ -498,6 +531,39 @@ mod tests {
         let mut sorted = statics.clone();
         sorted.sort_by_key(|(v, m, _)| (*v, m.as_u64()));
         assert_eq!(statics, sorted);
+    }
+
+    #[test]
+    fn flush_table_keeps_vf_entries_and_drops_the_rest() {
+        let (mut sw, inout, _, tenant) = mts_layout();
+        let wire_mac = MacAddr::local(0xaa);
+        sw.install_static_mac(0, wire_mac, NicPort::Wire);
+        // Learn an external MAC too.
+        let ext = MacAddr::local(0xee);
+        let _ = sw.ingress(NicPort::Wire, frame(ext, inout));
+        assert_eq!(sw.lookup(0, ext), Some(NicPort::Wire));
+
+        sw.flush_table();
+        // Operator static and learned entry gone…
+        assert_eq!(sw.lookup(0, wire_mac), None);
+        assert_eq!(sw.lookup(0, ext), None);
+        // …but VF-config-derived entries survive.
+        assert_eq!(sw.lookup(0, inout), Some(NicPort::Vf(VfId(0))));
+        assert_eq!(sw.lookup(1, tenant), Some(NicPort::Vf(VfId(2))));
+    }
+
+    #[test]
+    fn remove_static_mac_only_touches_statics() {
+        let mut sw = PfSwitch::new();
+        let m = MacAddr::local(0xaa);
+        sw.install_static_mac(0, m, NicPort::Wire);
+        assert!(sw.remove_static_mac(0, m));
+        assert!(!sw.remove_static_mac(0, m));
+        // A learned entry is not removable through this path.
+        let ext = MacAddr::local(0xee);
+        let _ = sw.ingress(NicPort::Wire, frame(ext, m));
+        assert!(!sw.remove_static_mac(0, ext));
+        assert_eq!(sw.lookup(0, ext), Some(NicPort::Wire));
     }
 
     #[test]

@@ -42,6 +42,19 @@ impl DetRng {
         DetRng::new(h)
     }
 
+    /// Derives an independent generator for the `idx`-th instance of a
+    /// named subsystem (e.g. one stream per supervised vswitch), so that
+    /// draws for one instance never perturb another.
+    pub fn derive_indexed(&self, label: &str, idx: u64) -> DetRng {
+        let mut h = self.derive(label).seed;
+        // One more FNV round folds the index in.
+        for b in idx.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        DetRng::new(h)
+    }
+
     /// Uniform integer in `[0, bound)`. A bound of zero yields zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         if bound == 0 {
@@ -124,6 +137,26 @@ mod tests {
         assert_eq!(x1.below(1 << 40), x2.below(1 << 40));
         assert_ne!(root.derive("tcp").seed(), y.derive("tcp").seed());
         let _ = y.unit();
+    }
+
+    #[test]
+    fn derive_indexed_separates_instances() {
+        let root = DetRng::new(13);
+        let mut a0 = root.derive_indexed("supervisor", 0);
+        let mut a0b = root.derive_indexed("supervisor", 0);
+        let mut a1 = root.derive_indexed("supervisor", 1);
+        assert_eq!(a0.below(1 << 40), a0b.below(1 << 40));
+        assert_ne!(
+            root.derive_indexed("supervisor", 0).seed(),
+            a1.seed(),
+            "indices must not collide"
+        );
+        assert_ne!(
+            root.derive_indexed("faults", 0).seed(),
+            root.derive_indexed("supervisor", 0).seed(),
+            "labels must not collide"
+        );
+        let _ = a1.unit();
     }
 
     #[test]

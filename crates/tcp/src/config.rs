@@ -21,6 +21,10 @@ pub struct TcpConfig {
     pub recv_window: u32,
     /// Delayed-ACK timeout (Linux: ~40 ms).
     pub delack: Dur,
+    /// Consecutive RTO expirations before the connection gives up and
+    /// resets (Linux `tcp_retries2`: 15). Keeps connections from hanging
+    /// forever when a fault window swallows every retransmission.
+    pub rto_max_retries: u32,
 }
 
 impl Default for TcpConfig {
@@ -33,6 +37,7 @@ impl Default for TcpConfig {
             rto_initial: Dur::secs(1),
             recv_window: 1 << 20,
             delack: Dur::millis(40),
+            rto_max_retries: 15,
         }
     }
 }

@@ -111,6 +111,8 @@ pub struct Connection {
     rttvar: Dur,
     rto: Dur,
     rto_backoff: u32,
+    /// Consecutive RTO expirations with no forward progress.
+    rto_retries: u32,
     /// One timed segment: (sequence offset it covers up to, send time).
     rtt_probe: Option<(u64, Time)>,
     rto_deadline: Option<Time>,
@@ -184,6 +186,7 @@ impl Connection {
             rttvar: Dur::ZERO,
             rto: cfg.rto_initial,
             rto_backoff: 0,
+            rto_retries: 0,
             rtt_probe: None,
             rto_deadline: None,
             peer_iss: 0,
@@ -302,6 +305,12 @@ impl Connection {
 
     fn on_rto(&mut self, now: Time) -> Output {
         self.stats.timeouts += 1;
+        self.rto_retries += 1;
+        if self.rto_retries > self.cfg.rto_max_retries {
+            // Retry budget exhausted (Linux tcp_retries2): the path is
+            // dead; fail cleanly instead of retransmitting forever.
+            return self.abort();
+        }
         // Karn: invalidate the RTT probe; collapse the window.
         self.rtt_probe = None;
         let flight = self.flight().max(u64::from(self.cfg.mss));
@@ -340,6 +349,7 @@ impl Connection {
                     self.state = State::Established;
                     self.rto_deadline = None;
                     self.rto_backoff = 0;
+                    self.rto_retries = 0;
                     out.connected = true;
                     out.segments.push(self.make_ack());
                     out.merge(self.pump(now));
@@ -354,6 +364,7 @@ impl Connection {
                         self.state = State::Established;
                         self.rto_deadline = None;
                         self.rto_backoff = 0;
+                        self.rto_retries = 0;
                         out.connected = true;
                         // Fall through: the ACK may carry data.
                     } else {
@@ -392,6 +403,7 @@ impl Connection {
             self.snd_una = ack_off;
             self.dupacks = 0;
             self.rto_backoff = 0;
+            self.rto_retries = 0;
             // Payload-byte accounting (exclude SYN/FIN sequence slots).
             self.stats.bytes_acked +=
                 payload_within(self.snd_una - newly, self.snd_una, self.app_total);

@@ -38,11 +38,22 @@ pub enum DropCause {
     NoSuchHost,
     /// A TCP host received a frame for an address it does not serve.
     HostMisaddressed,
+    /// A frame reached a vswitch whose VM is crashed or hung (fault
+    /// injection; see `mts-faults`).
+    VswitchDown,
+    /// A frame met a physical link that is administratively or fault down.
+    LinkDown,
+    /// A frame traversed a vswitch whose flow rules were lost (wiped or
+    /// partially dropped by a fault) before the controller reconciled —
+    /// the rule-loss race window.
+    RuleLostRaceWindow,
+    /// A frame matched no flow rule (table miss) in a healthy vswitch.
+    FlowMiss,
 }
 
 impl DropCause {
     /// Every cause, in stable (alphabetical-ish declaration) order.
-    pub const ALL: [DropCause; 14] = [
+    pub const ALL: [DropCause; 18] = [
         DropCause::NicError,
         DropCause::NicSpoof,
         DropCause::NicFilter,
@@ -57,7 +68,20 @@ impl DropCause {
         DropCause::VhostUnrouted,
         DropCause::NoSuchHost,
         DropCause::HostMisaddressed,
+        DropCause::VswitchDown,
+        DropCause::LinkDown,
+        DropCause::RuleLostRaceWindow,
+        DropCause::FlowMiss,
     ];
+
+    /// Whether this cause is only ever produced by injected faults or
+    /// their recovery windows (the `mts-faults` blast-radius accounting).
+    pub fn is_fault(self) -> bool {
+        matches!(
+            self,
+            DropCause::VswitchDown | DropCause::LinkDown | DropCause::RuleLostRaceWindow
+        )
+    }
 
     /// Stable kebab-case label (the former string keys, kept for reports
     /// and CSV compatibility).
@@ -77,6 +101,10 @@ impl DropCause {
             DropCause::VhostUnrouted => "vhost-unrouted",
             DropCause::NoSuchHost => "no-such-host",
             DropCause::HostMisaddressed => "host-misaddressed",
+            DropCause::VswitchDown => "vswitch-down",
+            DropCause::LinkDown => "link-down",
+            DropCause::RuleLostRaceWindow => "rule-lost-race-window",
+            DropCause::FlowMiss => "flow-miss",
         }
     }
 }

@@ -20,6 +20,9 @@
 //! - [`isocheck`] — static header-space verification of isolation and
 //!   complete mediation over deployed configurations (see
 //!   `VERIFICATION.md`).
+//! - [`faults`] — deterministic fault injection and the blast-radius /
+//!   recovery experiments over the security levels (see
+//!   `ROBUSTNESS.md`).
 //!
 //! # Examples
 //!
@@ -52,6 +55,7 @@
 
 pub use mts_apps as apps;
 pub use mts_core as core;
+pub use mts_faults as faults;
 pub use mts_host as host;
 pub use mts_isocheck as isocheck;
 pub use mts_net as net;
