@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! repro [--quick] [--out DIR] \
-//!   [--trace-out FILE] [--metrics-out FILE] \
-//!   [all|verify|fig5|fig6|pktsize|table1|vfcount|isolation|noisy|overlay|billing|trace|faults]
+//!   [--trace-out FILE] [--metrics-out FILE] [--bench-out FILE] \
+//!   [all|verify|fig5|fig6|pktsize|table1|vfcount|isolation|noisy|overlay|billing|trace|faults|slo]
 //! ```
 //!
 //! Prints aligned tables to stdout and writes CSV files under `--out`
@@ -34,6 +34,20 @@
 //! loses zero frames of other compartments; Baseline loses everyone's),
 //! the `offered = delivered + Σ typed drops` accounting identity, and the
 //! post-recovery isolation verification — exiting nonzero on any failure.
+//! With `--trace-out`/`--metrics-out`, it additionally runs a traced
+//! Level-2 crash-and-recover cell and exports its trace and metrics.
+//!
+//! The `slo` target runs the `mts-slo` panel (see `OBSERVABILITY.md`): the
+//! noisy-neighbor SLO matrix (p50/p99/p999, loss, and meter-attributed
+//! cycles per victim tenant, per security level), the billing-accuracy
+//! experiment (billed vs ground-truth cycles), and the cycle-conservation
+//! audit (`billed + unattributed == measured`, exact, at every level). It
+//! self-checks every headline claim and exits nonzero on violation. It
+//! also runs the simulator self-profiler and writes the perf-trajectory
+//! snapshot (`--bench-out`, default `OUT/BENCH_MTS.json`; schema
+//! `mts-bench-v1`, validated by `cargo xtask bench-check`). Wall-clock
+//! timing appears only in that snapshot — every table and CSV is
+//! simulated-time-only and byte-deterministic for a given seed.
 
 use mts_bench::figures::{
     fig5_panel, fig6_panel, isolation_matrix, pktsize_sweep, render_fig6, vf_count_table,
@@ -58,6 +72,7 @@ struct Args {
     out: PathBuf,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    bench_out: Option<PathBuf>,
     what: Vec<String>,
 }
 
@@ -66,6 +81,7 @@ fn parse_args() -> Args {
     let mut out = PathBuf::from("results");
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut bench_out = None;
     let mut what = Vec::new();
     let mut args = std::env::args().skip(1);
     fn value(flag: &str, args: &mut impl Iterator<Item = String>) -> PathBuf {
@@ -80,12 +96,16 @@ fn parse_args() -> Args {
             "--out" => out = value("--out", &mut args),
             "--trace-out" => trace_out = Some(value("--trace-out", &mut args)),
             "--metrics-out" => metrics_out = Some(value("--metrics-out", &mut args)),
+            "--bench-out" => bench_out = Some(value("--bench-out", &mut args)),
             other => what.push(other.to_string()),
         }
     }
     if what.is_empty() {
-        // Exporter flags without an explicit target imply the trace run.
-        if trace_out.is_some() || metrics_out.is_some() {
+        // Exporter flags without an explicit target imply the run that
+        // produces them.
+        if bench_out.is_some() {
+            what.push("slo".to_string());
+        } else if trace_out.is_some() || metrics_out.is_some() {
             what.push("trace".to_string());
         } else {
             what.push("all".to_string());
@@ -96,6 +116,7 @@ fn parse_args() -> Args {
         out,
         trace_out,
         metrics_out,
+        bench_out,
         what,
     }
 }
@@ -214,12 +235,14 @@ fn run_trace(quick: bool, trace_out: Option<&Path>, metrics_out: Option<&Path>) 
     }
     if let Some(p) = metrics_out {
         write_or_die(p, rec.metrics.render_prometheus(), "");
+        write_or_die(&p.with_extension("jsonl"), rec.metrics.render_jsonl(), "");
     }
 }
 
 /// The blast-radius and recovery panel (`ROBUSTNESS.md`), with the
-/// acceptance claims checked inline.
-fn run_faults(quick: bool, out: &PathBuf) {
+/// acceptance claims checked inline. With exporter flags, also runs a
+/// traced Level-2 crash-and-recover cell and writes its trace/metrics.
+fn run_faults(quick: bool, out: &PathBuf, trace_out: Option<&Path>, metrics_out: Option<&Path>) {
     use mts_faults::{blast_radius_panel, experiment, FaultOpts};
     use mts_sim::Dur;
 
@@ -298,6 +321,119 @@ fn run_faults(quick: bool, out: &PathBuf) {
          accounting identity held everywhere",
         cells.len()
     );
+
+    // Exporters: replay the Level-2 crash-and-recover cell with telemetry
+    // enabled and write its trace and metrics (same flags as `trace`).
+    if trace_out.is_some() || metrics_out.is_some() {
+        let spec = DeploymentSpec::mts(
+            SecurityLevel::Level2 { compartments: 2 },
+            DatapathKind::Kernel,
+            ResourceMode::Isolated,
+            Scenario::P2v,
+        );
+        let w = match mts_faults::run_traced(spec, mts_faults::FaultCase::Crash, opts) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("repro: faults: traced run: {e}");
+                std::process::exit(1);
+            }
+        };
+        let rec = w.telemetry.recorder().expect("telemetry enabled");
+        fn write_or_die(p: &Path, content: String) {
+            if let Err(e) = fs::write(p, content) {
+                eprintln!("repro: cannot write {}: {e}", p.display());
+                std::process::exit(1);
+            }
+            eprintln!("  wrote {}", p.display());
+        }
+        if let Some(p) = trace_out {
+            write_or_die(p, rec.trace.to_chrome_trace());
+            write_or_die(&p.with_extension("jsonl"), rec.trace.to_jsonl());
+        }
+        if let Some(p) = metrics_out {
+            write_or_die(p, rec.metrics.render_prometheus());
+            write_or_die(&p.with_extension("jsonl"), rec.metrics.render_jsonl());
+        }
+    }
+}
+
+/// The `mts-slo` panel plus the simulator self-profiler and the
+/// perf-trajectory snapshot. Exits nonzero if any headline claim fails.
+fn run_slo(quick: bool, out: &PathBuf, bench_out: Option<&Path>) {
+    use mts_bench::slo;
+
+    let panel = match slo::run_slo_panel(quick) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("repro: slo: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", perfiso::render_matrix(&panel.cells));
+    println!("{}", slo::render_accuracy(&panel.accuracy));
+    println!("{}", slo::render_conservation(&panel.conservation));
+    save(out, "slo_matrix.csv", &slo::matrix_csv(&panel.cells));
+    save(
+        out,
+        "slo_billing_accuracy.csv",
+        &slo::accuracy_csv(&panel.accuracy),
+    );
+    save(
+        out,
+        "slo_conservation.csv",
+        &slo::conservation_csv(&panel.conservation),
+    );
+    let violations = panel.self_check();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("repro: slo: FAILED: {v}");
+        }
+        eprintln!("repro: SLO panel FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "slo: {} matrix cells, {} configs; conservation exact everywhere, \
+         all self-checks passed",
+        panel.cells.len(),
+        panel.conservation.len()
+    );
+
+    // Self-profiler: wall clock lives only here, in the binary; the
+    // library reports simulated-side stats (see xtask lint).
+    let mut workloads = Vec::new();
+    for case in slo::ProfileCase::ALL {
+        let t0 = std::time::Instant::now();
+        let stats = match slo::run_profile_case(case, quick) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("repro: slo: profiler {}: {e}", case.name());
+                std::process::exit(1);
+            }
+        };
+        let wall = t0.elapsed().as_secs_f64();
+        let w = slo::bench_workload(&stats, wall);
+        println!(
+            "profile {:<18} events {:>9}  frames {:>8}  {:>12.0} events/s  \
+             {:>7.3} sim-Mpps/wall-s",
+            w.name,
+            w.events,
+            w.frames,
+            w.events_per_sec(),
+            w.sim_mpps_per_wall_sec()
+        );
+        workloads.push(w);
+    }
+    let json = slo::render_bench_json(&workloads);
+    let default_path = out.join("BENCH_MTS.json");
+    let path = bench_out.unwrap_or(&default_path);
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    if let Err(e) = fs::write(path, &json) {
+        eprintln!("repro: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("  wrote {}", path.display());
 }
 
 /// The static verification suite: every shipped compartmentalized
@@ -383,7 +519,13 @@ fn main() {
     for what in &args.what {
         match what.as_str() {
             "verify" => run_verify(),
-            "faults" => run_faults(args.quick, &args.out),
+            "faults" => run_faults(
+                args.quick,
+                &args.out,
+                args.trace_out.as_deref(),
+                args.metrics_out.as_deref(),
+            ),
+            "slo" => run_slo(args.quick, &args.out, args.bench_out.as_deref()),
             "fig5" => run_fig5(opts, &args.out),
             "fig6" => run_fig6(opts, &args.out),
             "pktsize" => {
@@ -531,7 +673,8 @@ fn main() {
             }
             "all" => {
                 run_verify();
-                run_faults(args.quick, &args.out);
+                run_faults(args.quick, &args.out, None, None);
+                run_slo(args.quick, &args.out, args.bench_out.as_deref());
                 println!("== Table 1 ==\n{}", survey::render_table());
                 println!("{}", vf_count_table());
                 println!("{}", isolation_matrix());

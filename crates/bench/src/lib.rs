@@ -14,6 +14,12 @@
 
 pub mod figures;
 pub mod precheck;
+pub mod slo;
+
+pub use slo::{
+    bench_workload, render_bench_json, run_profile_case, run_slo_panel, BenchWorkload, ProfileCase,
+    ProfileStats, SloPanel,
+};
 
 pub use figures::{
     fig5_panel, fig6_panel, isolation_matrix, pktsize_sweep, vf_count_table, Fig5Panel, Fig6Panel,

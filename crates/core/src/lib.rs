@@ -20,9 +20,14 @@
 //!   Apache/ApacheBench, Memcached/memslap).
 //! - [`attacks`] — attack scenarios validating the isolation properties of
 //!   each security level (Sec. 2.2/2.3).
-//! - [`billing`] — per-tenant CPU/memory/I/O accounting (Sec. 6).
+//! - [`billing`] — per-tenant CPU/memory/I/O accounting (Sec. 6), driven
+//!   by the cycle meters with an enforced conservation identity.
+//! - [`meters`] — per-tenant cycle-attribution meters across every layer
+//!   a frame touches (NIC VEB, vswitch, vhost, host kernel, overlay,
+//!   tenant VM) — the `mts-slo` substrate.
 //! - [`overlay`] — VXLAN overlay rules and generators (Sec. 3.2).
-//! - [`perfiso`] — the noisy-neighbor performance-isolation experiment.
+//! - [`perfiso`] — the noisy-neighbor performance-isolation experiments
+//!   (single-victim result and the per-level SLO matrix).
 //! - [`reconcile`] — controller reconciliation: snapshot of the desired
 //!   dataplane state and the idempotent re-programming pass that restores
 //!   it after faults.
@@ -35,6 +40,7 @@
 pub mod attacks;
 pub mod billing;
 pub mod controller;
+pub mod meters;
 pub mod overlay;
 pub mod perfiso;
 pub mod reconcile;
@@ -49,10 +55,11 @@ pub mod vfplan;
 pub mod workloads;
 
 pub use attacks::{Attack, AttackOutcome, IsolationReport};
-pub use billing::{bill, BillingReport, TenantBill};
+pub use billing::{bill, billing_accuracy, BillingAccuracy, BillingReport, TenantBill};
 pub use controller::Controller;
+pub use meters::{Attribution, CycleMeters, Layer};
 pub use overlay::OverlayConfig;
-pub use perfiso::{noisy_neighbor, NoisyNeighborResult, NoisyOpts};
+pub use perfiso::{noisy_matrix, noisy_neighbor, NoisyNeighborResult, NoisyOpts, SloCell};
 pub use reconcile::{reconcile, DesiredConfig, ReconcileReport};
 pub use results::{LatencySummary, Measurement, ThroughputReport};
 pub use spec::{DeploymentSpec, ResourceMode, Scenario, SecurityLevel};

@@ -209,15 +209,40 @@ fn overlay_tick(
 
 /// Extracts the innermost IPv4 destination (through one VXLAN layer).
 pub fn inner_dst_ip(frame: &Frame) -> Option<Ipv4Addr> {
+    inner_ips(frame).map(|(_, dst)| dst)
+}
+
+/// Extracts the innermost IPv4 `(src, dst)` pair (through one VXLAN layer).
+///
+/// Cycle attribution tries the destination tenant first and falls back to
+/// the source, so return traffic (tenant → remote) still attributes.
+pub fn inner_ips(frame: &Frame) -> Option<(Ipv4Addr, Ipv4Addr)> {
     match &frame.payload {
         Payload::Ipv4(ip) => match &ip.transport {
             Transport::Udp(u) if u.dport == VXLAN_UDP_PORT => match &u.payload {
-                UdpPayload::Vxlan { inner, .. } => inner.dst_ip(),
-                _ => Some(ip.dst),
+                UdpPayload::Vxlan { inner, .. } => match (inner.src_ip(), inner.dst_ip()) {
+                    (Some(s), Some(d)) => Some((s, d)),
+                    _ => Some((ip.src, ip.dst)),
+                },
+                _ => Some((ip.src, ip.dst)),
             },
-            _ => Some(ip.dst),
+            _ => Some((ip.src, ip.dst)),
         },
         _ => None,
+    }
+}
+
+/// True when the frame is a VXLAN envelope (UDP port 4789 with a VXLAN
+/// payload). The overlay-encap cycle meter keys off this.
+pub fn is_encapsulated(frame: &Frame) -> bool {
+    match &frame.payload {
+        Payload::Ipv4(ip) => match &ip.transport {
+            Transport::Udp(u) if u.dport == VXLAN_UDP_PORT => {
+                matches!(&u.payload, UdpPayload::Vxlan { .. })
+            }
+            _ => false,
+        },
+        _ => false,
     }
 }
 

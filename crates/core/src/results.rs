@@ -176,6 +176,7 @@ mod tests {
                 p75: 60_000,
                 p90: 80_000,
                 p99: 120_000,
+                p999: 140_000,
                 max: 150_000,
             },
             per_flow: vec![10_000; 4],

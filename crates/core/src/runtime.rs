@@ -20,6 +20,7 @@
 //! ```
 
 use crate::controller::{Deployment, PortAttach, VswitchInstance};
+use crate::meters::{Attribution, CycleMeters, Layer};
 use crate::spec::{DeploymentSpec, SecurityLevel};
 use crate::tcphost::TcpHostRt;
 use crate::vfplan::AddressPlan;
@@ -290,6 +291,8 @@ pub struct World {
     pub capture: Option<mts_net::pcap::PcapWriter>,
     /// Telemetry sink (disabled by default; see `mts-telemetry`).
     pub telemetry: Telemetry,
+    /// Per-tenant cycle-attribution meters (the `mts-slo` substrate).
+    pub meters: CycleMeters,
 }
 
 /// The engine type driving a [`World`].
@@ -443,6 +446,22 @@ impl World {
 
         let model = *d.nic.model();
         let n_vswitches = vswitches.len();
+        // The attribution regime each vswitch's cycles fall under is fixed
+        // by the deployment: Baseline's shared switch is unattributable,
+        // a compartment serving one tenant bills exactly, several tenants
+        // sharing a compartment split proportionally (Sec. 6).
+        let vswitch_attr: Vec<Attribution> = (0..n_vswitches)
+            .map(|i| match spec.level {
+                SecurityLevel::Baseline => Attribution::Unattributed,
+                _ => {
+                    if spec.tenants_of_compartment(i as u8).len() == 1 {
+                        Attribution::Exact
+                    } else {
+                        Attribution::Proportional
+                    }
+                }
+            })
+            .collect();
         let root = DetRng::new(seed);
         let mut w = World {
             spec,
@@ -478,6 +497,7 @@ impl World {
             max_dma_wait: Dur::ZERO,
             capture: None,
             telemetry: Telemetry::disabled(),
+            meters: CycleMeters::new(spec.tenants as usize, vswitch_attr),
         };
         // The controller remembers what it programmed: the reconciliation
         // target after any fault (see `crate::reconcile`).
@@ -518,12 +538,94 @@ impl World {
     }
 
     /// User id for core accounting: distinguishes compartments/tenants.
-    fn user_vswitch(i: usize) -> u64 {
+    pub(crate) fn user_vswitch(i: usize) -> u64 {
         0x1000 + i as u64
+    }
+
+    /// CPU time the core ledger measured for vswitch `i`'s datapath, summed
+    /// over all cores. This is the independent side of the conservation
+    /// identity: the meters' vswitch totals must equal it exactly.
+    pub fn measured_vswitch_cpu_of(&self, i: usize) -> Dur {
+        let user = Self::user_vswitch(i);
+        let mut sum = Dur::ZERO;
+        for c in self.cores.iter() {
+            sum += c.busy_for(user);
+        }
+        sum
+    }
+
+    /// Core-ledger CPU time across every vswitch — the total the bill (plus
+    /// its unattributed remainder) must conserve.
+    pub fn measured_vswitch_cpu(&self) -> Dur {
+        let mut sum = Dur::ZERO;
+        for i in 0..self.vswitches.len() {
+            sum += self.measured_vswitch_cpu_of(i);
+        }
+        sum
     }
 
     fn user_tenant(t: usize, side: u8) -> u64 {
         0x2000 + (t as u64) * 4 + u64::from(side)
+    }
+
+    /// Maps a frame to the tenant whose traffic it is, seeing through one
+    /// VXLAN layer. Destination tenant wins; source is the fallback so
+    /// return traffic (tenant → remote) still attributes.
+    pub fn tenant_of_frame(&self, frame: &Frame) -> Option<usize> {
+        let (src, dst) = crate::overlay::inner_ips(frame)?;
+        self.plan
+            .tenant_by_ip(dst)
+            .or_else(|| self.plan.tenant_by_ip(src))
+            .map(|t| t.index as usize)
+    }
+
+    /// Charges layer work to the cycle meters and mirrors the charge into
+    /// telemetry. Non-vswitch layers attribute exactly (the charge maps
+    /// to one tenant by construction) or not at all.
+    fn meter_layer(&mut self, layer: Layer, tenant: Option<usize>, d: Dur) {
+        if d.is_zero() {
+            return;
+        }
+        let attr = if tenant.is_some() {
+            Attribution::Exact
+        } else {
+            Attribution::Unattributed
+        };
+        self.meters.charge(layer, tenant, d);
+        self.mirror_cycles(layer, tenant, attr, d);
+    }
+
+    /// Charges vswitch-datapath work on vswitch `i`, flagged with the
+    /// attribution regime a biller could honestly claim for it.
+    fn meter_vswitch(&mut self, i: usize, tenant: Option<usize>, d: Dur) {
+        if d.is_zero() {
+            return;
+        }
+        let attr = if tenant.is_some() {
+            self.meters.vswitch_attribution(i)
+        } else {
+            Attribution::Unattributed
+        };
+        self.meters.charge_vswitch(i, tenant, d);
+        self.mirror_cycles(Layer::Vswitch, tenant, attr, d);
+    }
+
+    fn mirror_cycles(&mut self, layer: Layer, tenant: Option<usize>, attr: Attribution, d: Dur) {
+        if let Some(rec) = self.telemetry.rec() {
+            let tenant_label = match tenant {
+                Some(t) => t.to_string(),
+                None => "unresolved".to_string(),
+            };
+            let labels = [
+                ("layer", layer.label()),
+                ("tenant", tenant_label.as_str()),
+                ("attribution", attr.label()),
+            ];
+            rec.metrics
+                .counter_add("mts_cycles_ns_total", &labels, d.as_nanos());
+            rec.metrics
+                .observe("mts_cycles_grant_ns", &labels, d.as_nanos());
+        }
     }
 }
 
@@ -579,7 +681,9 @@ pub fn wire_inject(w: &mut World, e: &mut Sim, pf: PfId, frame: Frame) {
             .counter_inc("mts_wire_ingress_total", &[("pf", &pf.0.to_string())]);
     }
     let arrival = w.wires_in[pf.0 as usize].transmit(now, u64::from(frame.wire_len()));
-    e.schedule_at(arrival, move |w, e| nic_rx(w, e, pf, NicPort::Wire, frame));
+    e.schedule_at_tagged(arrival, "nic.rx", move |w, e| {
+        nic_rx(w, e, pf, NicPort::Wire, frame)
+    });
 }
 
 /// A frame arrives at the NIC's embedded switch on PF `pf`, port `port`.
@@ -629,6 +733,12 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
                 );
             }
         }
+        // NIC-VEB layer: one embedded-switch pipeline traversal per
+        // delivered frame, charged to the NIC's own busy ledger and to
+        // the attribution meters (conservation: the two must agree).
+        let veb_tenant = w.tenant_of_frame(&d.frame);
+        w.nic.note_veb_work(pf, switch_latency);
+        w.meter_layer(Layer::NicVeb, veb_tenant, switch_latency);
         let mut t = now + switch_latency;
         // The VF↔VF hairpin budget binds on VM-bound loopback deliveries
         // (frames scheduled into a tenant VF's rx queue): this single
@@ -659,7 +769,7 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
         match d.port {
             NicPort::Wire => {
                 let frame = d.frame;
-                e.schedule_at(t, move |w, e| {
+                e.schedule_at_tagged(t, "wire.tx", move |w, e| {
                     if !w.link_up[pf.0 as usize] {
                         let now = e.now();
                         w.drop_frame_traced(now, frame.id, DropCause::LinkDown);
@@ -667,7 +777,7 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
                     }
                     let len = u64::from(frame.wire_len());
                     let arr = w.wires_out[pf.0 as usize].transmit(e.now(), len);
-                    e.schedule_at(arr, move |w, e| external_rx(w, e, pf, frame));
+                    e.schedule_at_tagged(arr, "wire.rx", move |w, e| external_rx(w, e, pf, frame));
                 });
             }
             NicPort::Pf => {
@@ -678,7 +788,7 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
                         // charging shared links with future timestamps
                         // would create phantom reservations other traffic
                         // queues behind.
-                        e.schedule_at(t, move |w, e| {
+                        e.schedule_at_tagged(t, "dma", move |w, e| {
                             let len = u64::from(frame.wire_len());
                             let arr = w.nic.dma(e.now(), len);
                             w.max_dma_wait = w.max_dma_wait.max(arr - e.now());
@@ -689,7 +799,7 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
                                     (arr - e.now()).as_nanos(),
                                 );
                             }
-                            e.schedule_at(arr, move |w, e| {
+                            e.schedule_at_tagged(arr, "vswitch.rx", move |w, e| {
                                 vswitch_rx(w, e, i, port, frame, false);
                             });
                         });
@@ -700,7 +810,7 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
             NicPort::Vf(vf) => match w.vf_owner.get(&(pf.0, vf.0)).copied() {
                 Some(Owner::Vswitch(i, port)) => {
                     let frame = d.frame;
-                    e.schedule_at(t, move |w, e| {
+                    e.schedule_at_tagged(t, "dma", move |w, e| {
                         let len = u64::from(frame.wire_len());
                         let arr = w.nic.dma(e.now(), len);
                         w.max_dma_wait = w.max_dma_wait.max(arr - e.now());
@@ -708,14 +818,14 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
                             rec.metrics
                                 .observe("mts_dma_wait_ns", &[], (arr - e.now()).as_nanos());
                         }
-                        e.schedule_at(arr, move |w, e| {
+                        e.schedule_at_tagged(arr, "vswitch.rx", move |w, e| {
                             vswitch_rx(w, e, i, port, frame, false);
                         });
                     });
                 }
                 Some(Owner::Tenant(t_idx, side)) => {
                     let frame = d.frame;
-                    e.schedule_at(t, move |w, e| {
+                    e.schedule_at_tagged(t, "dma", move |w, e| {
                         let len = u64::from(frame.wire_len());
                         let arr = w.nic.dma(e.now(), len);
                         w.max_dma_wait = w.max_dma_wait.max(arr - e.now());
@@ -723,7 +833,7 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
                             rec.metrics
                                 .observe("mts_dma_wait_ns", &[], (arr - e.now()).as_nanos());
                         }
-                        e.schedule_at(arr, move |w, e| {
+                        e.schedule_at_tagged(arr, "tenant.rx", move |w, e| {
                             tenant_rx(w, e, t_idx, side, frame);
                         });
                     });
@@ -749,6 +859,8 @@ pub fn vswitch_rx(
         w.drop_frame_traced(now, frame.id, DropCause::VswitchDown);
         return;
     }
+    // Attribution ground truth, resolved before the datapath borrows.
+    let tenant = w.tenant_of_frame(&frame);
     let vs = &mut w.vswitches[i];
     let cap = w.cfg.rx_ring;
     let queued = vs.inflight.entry(port).or_insert(0);
@@ -792,8 +904,10 @@ pub fn vswitch_rx(
         Some(PortKind::VfBacked) | Some(PortKind::Physical) => cost += costs.vf_rx_tx / tso,
         _ => {}
     }
+    let mut vhost_copy = Dur::ZERO;
     if via_vhost {
-        cost += w.cfg.vhost.copy_cost_amortized(&frame, tso);
+        vhost_copy = w.cfg.vhost.copy_cost_amortized(&frame, tso);
+        cost += vhost_copy;
     }
     if vs.slow_factor > 1.0 {
         // Injected slowdown (CPU steal, thermal throttling).
@@ -803,10 +917,12 @@ pub fn vswitch_rx(
     // Interrupt latency for the kernel path; scheduler jitter when several
     // compartments share the core (Fig. 5b's variance).
     let mut ready = now;
+    let mut irq_delay = Dur::ZERO;
     if vs.kernel {
         // Interrupt + NAPI wake-up latency, with scheduler noise.
         let irq = w.cfg.vswitch_irq.as_nanos();
-        ready += Dur::nanos(irq * 7 / 10 + w.rng.below(irq * 6 / 10 + 1));
+        irq_delay = Dur::nanos(irq * 7 / 10 + w.rng.below(irq * 6 / 10 + 1));
+        ready += irq_delay;
     }
     let sharers = vs.sharers;
     if sharers > 1 {
@@ -822,7 +938,15 @@ pub fn vswitch_rx(
         // lint:allow(no-unwrap): vswitch cores are allocated at deploy time
         .expect("vswitch core exists")
         .acquire(ready, user, cost);
-    e.schedule_at(grant.end, move |w, e| {
+    // Vswitch layer: the grant's effective occupancy is exactly what the
+    // core ledger recorded for this acquire — the conservation identity
+    // billing enforces depends on metering every grant this way.
+    w.meter_vswitch(i, tenant, grant.end - grant.start);
+    // Sub-meters: the vhost copy rides inside the grant; the kernel IRQ
+    // path is host-kernel involvement (latency, not core occupancy).
+    w.meter_layer(Layer::Vhost, tenant, vhost_copy);
+    w.meter_layer(Layer::HostKernel, tenant, irq_delay);
+    e.schedule_at_tagged(grant.end, "vswitch.exec", move |w, e| {
         vswitch_exec(w, e, i, port, frame, core_id);
     });
 }
@@ -840,6 +964,9 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
         w.drop_frame_traced(now, frame.id, DropCause::VswitchDown);
         return;
     }
+    // Attribution ground truth and encap state, before the frame moves.
+    let tenant = w.tenant_of_frame(&frame);
+    let was_encap = crate::overlay::is_encapsulated(&frame);
     let vs = &mut w.vswitches[i];
     // Proxy-ARP (Sec. 3.2): the controller configured this vswitch as the
     // ARP responder for its tenants' gateway IPs; requests are answered
@@ -856,9 +983,9 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
                 let reply = Frame::arp(gw_mac, req.reply_to(gw_mac));
                 let attach = vs.inst.attach.get(&port).copied();
                 if let Some(PortAttach::Vf(pf, vf)) = attach {
-                    e.schedule_at(now, move |w, e| {
+                    e.schedule_at_tagged(now, "dma", move |w, e| {
                         let arr = w.nic.dma(e.now(), u64::from(reply.wire_len()));
-                        e.schedule_at(arr, move |w, e| {
+                        e.schedule_at_tagged(arr, "nic.rx", move |w, e| {
                             nic_rx(w, e, pf, NicPort::Vf(vf), reply);
                         });
                     });
@@ -891,6 +1018,8 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
         extra += costs.slow_path.saturating_sub(costs.cache_hit);
     }
     let mut out_plans = Vec::with_capacity(outputs.len());
+    let mut vhost_extra = Dur::ZERO;
+    let mut overlay_extra = Dur::ZERO;
     for (out_port, out_frame) in outputs {
         let attach = vs.inst.attach.get(&out_port).copied();
         let kind = vs.inst.sw.port(out_port).map(|p| p.kind);
@@ -900,23 +1029,38 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
                 extra += costs.vf_rx_tx / tso;
             }
             Some(PortKind::Vhost) | Some(PortKind::DpdkVhostUser) => {
-                extra += w.cfg.vhost.copy_cost_amortized(&out_frame, tso);
+                let copy = w.cfg.vhost.copy_cost_amortized(&out_frame, tso);
+                vhost_extra += copy;
+                extra += copy;
             }
             _ => {}
+        }
+        // The overlay sub-meter counts the action-execution share of
+        // frames whose encapsulation state the pipeline changed.
+        if crate::overlay::is_encapsulated(&out_frame) != was_encap {
+            overlay_extra += costs.cache_hit;
         }
         out_plans.push((attach, kind, out_frame));
     }
     let user = World::user_vswitch(i);
+    let mut exec_eff = Dur::ZERO;
     let deliver_at = if extra.is_zero() {
         now
     } else {
-        w.cores
+        let grant = w
+            .cores
             .get_mut(core)
             // lint:allow(no-unwrap): vswitch cores are allocated at deploy time
             .expect("vswitch core exists")
-            .acquire(now, user, extra)
-            .end
+            .acquire(now, user, extra);
+        exec_eff = grant.end - grant.start;
+        grant.end
     };
+    // Meter the tx-side grant's effective occupancy (conservation) plus
+    // the vhost-copy and overlay-encap sub-meters riding inside it.
+    w.meter_vswitch(i, tenant, exec_eff);
+    w.meter_layer(Layer::Vhost, tenant, vhost_extra);
+    w.meter_layer(Layer::OverlayEncap, tenant, overlay_extra);
     if let Some(rec) = w.telemetry.rec() {
         let dur = deliver_at.saturating_since(now);
         rec.hop_timed(
@@ -951,17 +1095,17 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
         }
         match attach {
             Some(PortAttach::Vf(pf, vf)) => {
-                e.schedule_at(t, move |w, e| {
+                e.schedule_at_tagged(t, "dma", move |w, e| {
                     let arr = w.nic.dma(e.now(), u64::from(out_frame.wire_len()));
-                    e.schedule_at(arr, move |w, e| {
+                    e.schedule_at_tagged(arr, "nic.rx", move |w, e| {
                         nic_rx(w, e, pf, NicPort::Vf(vf), out_frame);
                     });
                 });
             }
             Some(PortAttach::Pf(pf)) => {
-                e.schedule_at(t, move |w, e| {
+                e.schedule_at_tagged(t, "dma", move |w, e| {
                     let arr = w.nic.dma(e.now(), u64::from(out_frame.wire_len()));
-                    e.schedule_at(arr, move |w, e| {
+                    e.schedule_at_tagged(arr, "nic.rx", move |w, e| {
                         nic_rx(w, e, pf, NicPort::Pf, out_frame);
                     });
                 });
@@ -970,12 +1114,16 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
                 let mut arr = t + w.cfg.vhost.guest_notify;
                 arr += w.cfg.vhost.batching_latency(w.cfg.offered_pps);
                 let t_idx = tenant as usize;
+                // The guest-notify eventfd kick is host-kernel work done
+                // for exactly this tenant's vhost channel.
+                let notify = w.cfg.vhost.guest_notify;
+                w.meter_layer(Layer::HostKernel, Some(t_idx), notify);
                 // An injected vhost stall holds the channel; frames queue
                 // and drain when it clears (delay, not loss).
                 if let Some(stall) = w.vhost_stall_until.get(t_idx) {
                     arr = arr.max(*stall);
                 }
-                e.schedule_at(arr, move |w, e| {
+                e.schedule_at_tagged(arr, "vhost.deliver", move |w, e| {
                     tenant_rx(w, e, t_idx, side, out_frame);
                 });
             }
@@ -1015,7 +1163,11 @@ pub fn tenant_rx(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Frame) {
                 // lint:allow(no-unwrap): tenant cores are allocated at deploy time
                 .expect("tenant core exists")
                 .acquire(now, user, cost);
-            e.schedule_at(grant.end, move |w, e| tenant_fwd_exec(w, e, t, side, frame));
+            // Tenant-VM layer: always exact — the VM is the tenant's.
+            w.meter_layer(Layer::TenantVm, Some(t), grant.end - grant.start);
+            e.schedule_at_tagged(grant.end, "tenant.exec", move |w, e| {
+                tenant_fwd_exec(w, e, t, side, frame)
+            });
         }
         TenantKind::Bridge(_) => {
             // Guest bridge: virtio IRQ latency, then kernel forwarding.
@@ -1028,7 +1180,8 @@ pub fn tenant_rx(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Frame) {
                 // lint:allow(no-unwrap): tenant cores are allocated at deploy time
                 .expect("tenant core exists")
                 .acquire(ready, user, cost);
-            e.schedule_at(grant.end, move |w, e| {
+            w.meter_layer(Layer::TenantVm, Some(t), grant.end - grant.start);
+            e.schedule_at_tagged(grant.end, "tenant.exec", move |w, e| {
                 tenant_bridge_exec(w, e, t, side, frame);
             });
         }
@@ -1057,7 +1210,7 @@ fn tenant_fwd_exec(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Frame)
         if !drain_armed[s] {
             drain_armed[s] = true;
             let deadline = fwd[s].next_drain().unwrap_or(now + Dur::micros(100));
-            e.schedule_at(deadline.max(now), move |w, e| {
+            e.schedule_at_tagged(deadline.max(now), "tenant.drain", move |w, e| {
                 tenant_drain(w, e, t, side);
             });
         }
@@ -1111,7 +1264,9 @@ fn tenant_emit(w: &mut World, e: &mut Sim, t: usize, tx: u8, frames: Vec<Frame>)
                 .counter_inc("mts_tenant_tx_total", &[("tenant", &t.to_string())]);
         }
         let arr = w.nic.dma(now, u64::from(frame.wire_len()));
-        e.schedule_at(arr, move |w, e| nic_rx(w, e, pf, NicPort::Vf(vf), frame));
+        e.schedule_at_tagged(arr, "nic.rx", move |w, e| {
+            nic_rx(w, e, pf, NicPort::Vf(vf), frame)
+        });
     }
 }
 
@@ -1126,12 +1281,16 @@ fn tenant_bridge_exec(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Fra
     // has exactly one switch).
     for out_side in outs {
         let frame = frame.clone();
+        // The host-side vhost notify syscall runs in the host kernel on
+        // behalf of exactly this tenant.
+        let notify = w.cfg.host_notify;
+        w.meter_layer(Layer::HostKernel, Some(t), notify);
         let mut arr = now + w.cfg.host_notify;
         if let Some(stall) = w.vhost_stall_until.get(t) {
             arr = arr.max(*stall);
         }
         let tenant_idx = t as u8;
-        e.schedule_at(arr, move |w, e| {
+        e.schedule_at_tagged(arr, "vswitch.rx", move |w, e| {
             let Some((i, port)) = w.vswitches.iter().enumerate().find_map(|(i, vs)| {
                 vs.inst
                     .vhost
@@ -1208,7 +1367,7 @@ pub fn start_udp_generator(
         return;
     }
     let gap = Dur::from_secs_f64(1.0 / rate_pps);
-    e.schedule_at(Time::ZERO, move |w, e| {
+    e.schedule_at_tagged(Time::ZERO, "gen.tick", move |w, e| {
         generator_tick(w, e, flows, gap, wire_len, until, 0);
     });
 }
@@ -1247,7 +1406,7 @@ fn generator_tick(
         }
     }
     wire_inject(w, e, PfId(0), frame);
-    e.schedule_at(now + gap, move |w, e| {
+    e.schedule_at_tagged(now + gap, "gen.tick", move |w, e| {
         generator_tick(w, e, flows, gap, wire_len, until, seq + 1);
     });
 }

@@ -242,10 +242,33 @@ fn tenant_flows(w: &World) -> Vec<(MacAddr, Ipv4Addr)> {
 /// Runs one deployment under one fault plan; returns the settled world
 /// (supervisor log inside).
 fn run_once(spec: DeploymentSpec, plan: &FaultPlan, opts: FaultOpts) -> Result<World, DeployError> {
+    run_inner(spec, plan, opts, false)
+}
+
+/// Runs one fault scenario with telemetry enabled and returns the settled
+/// world, so callers (the `repro faults` exporter flags) can write the
+/// trace, metrics and cycle-attribution series of a faulted run.
+pub fn run_traced(
+    spec: DeploymentSpec,
+    case: FaultCase,
+    opts: FaultOpts,
+) -> Result<World, DeployError> {
+    run_inner(spec, &case.plan(opts.fault_at), opts, true)
+}
+
+fn run_inner(
+    spec: DeploymentSpec,
+    plan: &FaultPlan,
+    opts: FaultOpts,
+    traced: bool,
+) -> Result<World, DeployError> {
     let d = Controller::deploy(spec)?;
     let mut cfg = RuntimeCfg::for_spec(&spec);
     cfg.offered_pps = opts.rate_pps;
     let mut w = World::new(d, cfg, opts.seed);
+    if traced {
+        w.telemetry = mts_telemetry::Telemetry::enabled();
+    }
     let mut e = Sim::new();
     // Account every frame: the identity needs the full run, not a window.
     w.sink.window = (Time::ZERO, Time::MAX);

@@ -32,6 +32,8 @@ pub mod experiment;
 pub mod inject;
 pub mod plan;
 
-pub use experiment::{blast_radius_panel, render, run_cell, BlastCell, FaultCase, FaultOpts};
+pub use experiment::{
+    blast_radius_panel, render, run_cell, run_traced, BlastCell, FaultCase, FaultOpts,
+};
 pub use inject::{inject, schedule};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanParseError};

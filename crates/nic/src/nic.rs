@@ -5,7 +5,7 @@ use crate::model::NicModel;
 use crate::switch::{Delivery, PfSwitch, SwitchCounters};
 use crate::vf::{NicPort, VfConfig, VfId};
 use mts_net::{Frame, MacAddr};
-use mts_sim::{Link, Server, ServerDecision, Time};
+use mts_sim::{Dur, Link, Server, ServerDecision, Time};
 use std::fmt;
 
 /// Identifies a physical function (one per physical port).
@@ -76,6 +76,11 @@ pub struct SriovNic {
     pfs: Vec<PfSwitch>,
     hairpins: Vec<Server>,
     pcie: Link,
+    /// Accumulated embedded-switch (VEB) pipeline occupancy per PF —
+    /// the hardware-side analogue of a CPU core's busy ledger. The
+    /// runtime charges one switch latency per delivered frame; SLO
+    /// attribution cross-checks its NIC-layer meter against this total.
+    veb_busy: Vec<Dur>,
 }
 
 impl SriovNic {
@@ -87,7 +92,32 @@ impl SriovNic {
             pfs: (0..ports).map(|_| PfSwitch::new()).collect(),
             hairpins: (0..ports).map(|_| model.hairpin_server()).collect(),
             pcie: model.pcie_link(),
+            veb_busy: vec![Dur::ZERO; ports],
         }
+    }
+
+    /// Charges `d` of embedded-switch pipeline time to a PF's VEB ledger.
+    pub fn note_veb_work(&mut self, pf: PfId, d: Dur) {
+        if let Some(slot) = self.veb_busy.get_mut(pf.0 as usize) {
+            *slot += d;
+        }
+    }
+
+    /// Accumulated VEB pipeline occupancy for one PF.
+    pub fn veb_busy(&self, pf: PfId) -> Dur {
+        self.veb_busy
+            .get(pf.0 as usize)
+            .copied()
+            .unwrap_or(Dur::ZERO)
+    }
+
+    /// Accumulated VEB pipeline occupancy across every PF.
+    pub fn veb_busy_total(&self) -> Dur {
+        let mut total = Dur::ZERO;
+        for d in &self.veb_busy {
+            total += *d;
+        }
+        total
     }
 
     /// Returns the NIC's timing/capacity model.

@@ -27,7 +27,7 @@ pub mod stats;
 pub mod time;
 
 pub use cpu::{CoreId, CorePool, CpuCore};
-pub use engine::Engine;
+pub use engine::{Engine, UNTAGGED_EVENT};
 pub use link::{Link, Server, ServerDecision};
 pub use queue::Ring;
 pub use rng::DetRng;

@@ -158,6 +158,15 @@ impl Histogram {
         self.max
     }
 
+    /// Returns the number of samples whose bucket lies at or below the
+    /// bucket containing `bound` — a cumulative count with the same ~3%
+    /// bucket resolution as [`Histogram::percentile`]. Used to export
+    /// Prometheus-style cumulative `le` bucket series.
+    pub fn count_le(&self, bound: u64) -> u64 {
+        let b = Self::bucket_of(bound).min(self.counts.len() - 1);
+        self.counts[..=b].iter().sum()
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -180,6 +189,7 @@ impl Histogram {
             p75: self.percentile(75.0),
             p90: self.percentile(90.0),
             p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
             max: self.max(),
         }
     }
@@ -204,6 +214,8 @@ pub struct Summary {
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile — the tail the SLO panels report.
+    pub p999: u64,
     /// Maximum sample.
     pub max: u64,
 }
@@ -400,7 +412,75 @@ mod tests {
         let s = h.summary();
         assert!(s.min <= s.p25 && s.p25 <= s.p50);
         assert!(s.p50 <= s.p75 && s.p75 <= s.p90);
-        assert!(s.p90 <= s.p99 && s.p99 <= s.max);
+        assert!(s.p90 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
         assert_eq!(s.count, 10_000);
+    }
+
+    #[test]
+    fn p999_is_exact_on_small_value_distribution() {
+        // Values below 64 land in exact (width-1) buckets, so every
+        // quantile on them is exact. 1000 samples of 0..=49: rank for
+        // p99.9 is ceil(0.999*1000)=999, i.e. the 999th smallest = 49.
+        let mut h = Histogram::new();
+        for v in 0..50u64 {
+            h.record_n(v, 20);
+        }
+        assert_eq!(h.percentile(99.9), 49);
+        assert_eq!(h.percentile(50.0), 24);
+        assert_eq!(h.summary().p999, 49);
+    }
+
+    #[test]
+    fn p999_on_known_uniform_distribution_is_within_bucket_resolution() {
+        // Uniform 1..=100_000: true p99.9 = 99_900. Log buckets above 64
+        // have <= 1/32 relative width, so assert within 3.2%.
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let p999 = h.percentile(99.9);
+        let err = (p999 as f64 - 99_900.0).abs() / 99_900.0;
+        assert!(err <= 0.032, "p999={p999} err={err}");
+        // And the heavy-tail case: 999 samples at 10, one at 1_000_000.
+        // p999 must surface the outlier (within bucket resolution) even
+        // though p50/p99 sit on the bulk of the distribution.
+        let mut t = Histogram::new();
+        t.record_n(10, 999);
+        t.record(1_000_000);
+        assert_eq!(t.percentile(50.0), 10);
+        assert_eq!(t.summary().p99, 10);
+        let tail = t.summary().p999;
+        let tail_err = (tail as f64 - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(tail_err <= 0.032, "p999={tail}");
+        assert_eq!(t.percentile(100.0), 1_000_000);
+    }
+
+    #[test]
+    fn count_le_matches_exact_counts_for_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count_le(0), 1);
+        assert_eq!(h.count_le(31), 32);
+        assert_eq!(h.count_le(63), 64);
+        assert_eq!(h.count_le(1 << 40), 64);
+    }
+
+    #[test]
+    fn count_le_is_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        let mut x = 7u64;
+        for i in 0..5_000u64 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(i) % 3_000_000;
+            h.record(x);
+        }
+        let mut last = 0;
+        for bound in [10, 100, 1_000, 10_000, 100_000, 1_000_000, u64::MAX] {
+            let c = h.count_le(bound);
+            assert!(c >= last, "count_le not monotone at {bound}");
+            last = c;
+        }
+        assert_eq!(h.count_le(u64::MAX), h.count());
     }
 }

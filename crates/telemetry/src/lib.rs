@@ -37,6 +37,6 @@ pub mod trace;
 pub use audit::{MediationAuditor, MediationReport, MediationViolation};
 pub use drop_cause::DropCause;
 pub use journey::{Hop, Journey, JourneyLog, NicEndpoint};
-pub use metrics::MetricsRegistry;
+pub use metrics::{MetricsRegistry, BUCKET_BOUNDS_NS};
 pub use recorder::{Recorder, Telemetry};
 pub use trace::{TraceEvent, TraceLog};

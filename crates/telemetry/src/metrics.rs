@@ -18,6 +18,8 @@ use std::collections::BTreeMap;
 
 use mts_sim::Histogram;
 
+use crate::json::escape_json;
+
 /// A fully-resolved series key: metric name plus sorted `label=value` pairs.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct SeriesKey {
@@ -163,10 +165,13 @@ impl MetricsRegistry {
     /// Render the registry in the Prometheus text exposition format.
     ///
     /// Counters become `# TYPE <name> counter` series; gauges `gauge`;
-    /// histograms are rendered as Prometheus *summaries* (`quantile`
-    /// label plus `_sum`/`_count`), which is the honest mapping for an
-    /// HDR-style log-bucketed histogram. Output is byte-for-byte
-    /// deterministic for a given registry state.
+    /// histograms render as Prometheus *histograms*: cumulative
+    /// `<name>_bucket{le="..."}` series over the fixed decade bounds in
+    /// [`BUCKET_BOUNDS_NS`] plus `+Inf`, followed by quantile series
+    /// (0.5/0.9/0.99/0.999 — the SLO tail included) and `_sum`/`_count`.
+    /// The quantiles come from the HDR-style log-bucketed histogram, so
+    /// they are bucket midpoints, not exact inputs. Output is
+    /// byte-for-byte deterministic for a given registry state.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_name: Option<&str> = None;
@@ -188,10 +193,18 @@ impl MetricsRegistry {
         last_name = None;
         for (key, h) in &self.histograms {
             if last_name != Some(key.name.as_str()) {
-                out.push_str(&format!("# TYPE {} summary\n", key.name));
+                out.push_str(&format!("# TYPE {} histogram\n", key.name));
                 last_name = Some(key.name.as_str());
             }
-            for q in [0.5_f64, 0.9, 0.99] {
+            for bound in BUCKET_BOUNDS_NS {
+                out.push_str(&format!(
+                    "{} {}\n",
+                    bucket_series(key, &bound.to_string()),
+                    h.count_le(bound)
+                ));
+            }
+            out.push_str(&format!("{} {}\n", bucket_series(key, "+Inf"), h.count()));
+            for q in [0.5_f64, 0.9, 0.99, 0.999] {
                 let qv = h.percentile(q * 100.0);
                 out.push_str(&format!(
                     "{} {}\n",
@@ -210,6 +223,81 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// Render the registry as JSON Lines: one self-describing object per
+    /// series, `jq`/pandas-friendly. Label keys appear in sorted order
+    /// (the [`SeriesKey`] canonical order), so the output — including the
+    /// cycle-attribution labels `layer`/`tenant`/`attribution` — is
+    /// byte-for-byte deterministic.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (key, v) in &self.counters {
+            out.push_str(&format!(
+                "{{\"kind\":\"counter\",\"name\":\"{}\",\"labels\":{},\"value\":{}}}\n",
+                escape_json(&key.name),
+                render_labels_json(key),
+                v
+            ));
+        }
+        for (key, v) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"kind\":\"gauge\",\"name\":\"{}\",\"labels\":{},\"value\":{}}}\n",
+                escape_json(&key.name),
+                render_labels_json(key),
+                fmt_f64(*v)
+            ));
+        }
+        for (key, h) in &self.histograms {
+            let s = h.summary();
+            out.push_str(&format!(
+                "{{\"kind\":\"histogram\",\"name\":\"{}\",\"labels\":{},\"count\":{},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}\n",
+                escape_json(&key.name),
+                render_labels_json(key),
+                s.count,
+                s.min,
+                s.p50,
+                s.p90,
+                s.p99,
+                s.p999,
+                s.max
+            ));
+        }
+        out
+    }
+}
+
+/// The fixed `le` bounds (ns) for Prometheus `_bucket` series: decades
+/// from 100 ns to 1 s — a frame's journey through the simulated DUT fits
+/// this range at every security level.
+pub const BUCKET_BOUNDS_NS: [u64; 8] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+fn bucket_series(key: &SeriesKey, le: &str) -> String {
+    let mut labels = key.labels.clone();
+    labels.push(("le".to_string(), le.to_string()));
+    labels.sort();
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, prom_escape(v)))
+        .collect();
+    format!("{}_bucket{{{}}}", key.name, body.join(","))
+}
+
+fn render_labels_json(key: &SeriesKey) -> String {
+    let body: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
 }
 
 fn render_suffix(key: &SeriesKey) -> String {
@@ -272,8 +360,54 @@ mod tests {
         assert!(text.contains("mts_drops_total{cause=\"nic-spoof\"} 7"));
         assert!(text.contains("# TYPE mts_ring_occupancy gauge"));
         assert!(text.contains("mts_ring_occupancy{vswitch=\"0\"} 12"));
-        assert!(text.contains("# TYPE mts_hop_ns summary"));
+        assert!(text.contains("# TYPE mts_hop_ns histogram"));
         assert!(text.contains("mts_hop_ns_count{hop=\"nic\"} 2"));
+        // Cumulative buckets: both 640 ns observations are ≤ 1 µs.
+        assert!(text.contains("mts_hop_ns_bucket{hop=\"nic\",le=\"100\"} 0"));
+        assert!(text.contains("mts_hop_ns_bucket{hop=\"nic\",le=\"1000\"} 2"));
+        assert!(text.contains("mts_hop_ns_bucket{hop=\"nic\",le=\"+Inf\"} 2"));
+        // The SLO tail quantile is rendered alongside the buckets.
+        assert!(text.contains("mts_hop_ns{hop=\"nic\",quantile=\"0.999\"}"));
+    }
+
+    #[test]
+    fn jsonl_orders_attribution_labels_deterministically() {
+        let mut m = MetricsRegistry::new();
+        // Insert with shuffled label order: the canonical (sorted) order
+        // must come out regardless.
+        m.counter_add(
+            "mts_cycles_ns_total",
+            &[
+                ("tenant", "0"),
+                ("layer", "vswitch"),
+                ("attribution", "exact"),
+            ],
+            640,
+        );
+        m.observe(
+            "mts_cycles_grant_ns",
+            &[
+                ("attribution", "exact"),
+                ("tenant", "0"),
+                ("layer", "vswitch"),
+            ],
+            640,
+        );
+        let text = m.render_jsonl();
+        assert_eq!(text, m.render_jsonl(), "rendering must be idempotent");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(
+            "\"labels\":{\"attribution\":\"exact\",\"layer\":\"vswitch\",\"tenant\":\"0\"}"
+        ));
+        assert!(lines[0].contains("\"kind\":\"counter\""));
+        assert!(lines[0].contains("\"value\":640"));
+        assert!(lines[1].contains("\"kind\":\"histogram\""));
+        assert!(lines[1].contains(
+            "\"labels\":{\"attribution\":\"exact\",\"layer\":\"vswitch\",\"tenant\":\"0\"}"
+        ));
+        assert!(lines[1].contains("\"count\":1"));
+        assert!(lines[1].contains("\"p999\":"));
     }
 
     #[test]

@@ -89,14 +89,42 @@ mts_tenant_rx_total{tenant=\"0\"} 100
 mts_tenant_rx_total{tenant=\"1\"} 96
 # TYPE mts_vswitch_ring_hwm gauge
 mts_vswitch_ring_hwm{port=\"2\",vswitch=\"0\"} 5
-# TYPE mts_e2e_latency_ns summary
+# TYPE mts_e2e_latency_ns histogram
+mts_e2e_latency_ns_bucket{le=\"100\"} 0
+mts_e2e_latency_ns_bucket{le=\"1000\"} 1
+mts_e2e_latency_ns_bucket{le=\"10000\"} 4
+mts_e2e_latency_ns_bucket{le=\"100000\"} 4
+mts_e2e_latency_ns_bucket{le=\"1000000\"} 4
+mts_e2e_latency_ns_bucket{le=\"10000000\"} 4
+mts_e2e_latency_ns_bucket{le=\"100000000\"} 4
+mts_e2e_latency_ns_bucket{le=\"1000000000\"} 4
+mts_e2e_latency_ns_bucket{le=\"+Inf\"} 4
 mts_e2e_latency_ns{quantile=\"0.5\"} 1984
 mts_e2e_latency_ns{quantile=\"0.9\"} 3968
 mts_e2e_latency_ns{quantile=\"0.99\"} 3968
+mts_e2e_latency_ns{quantile=\"0.999\"} 3968
 mts_e2e_latency_ns_sum 10000
 mts_e2e_latency_ns_count 4
 ";
     assert_eq!(sample_metrics().render_prometheus(), expected);
+}
+
+#[test]
+fn metrics_jsonl_golden() {
+    let expected = concat!(
+        "{\"kind\":\"counter\",\"name\":\"mts_drops_total\",",
+        "\"labels\":{\"cause\":\"vf-unclaimed\"},\"value\":3}\n",
+        "{\"kind\":\"counter\",\"name\":\"mts_tenant_rx_total\",",
+        "\"labels\":{\"tenant\":\"0\"},\"value\":100}\n",
+        "{\"kind\":\"counter\",\"name\":\"mts_tenant_rx_total\",",
+        "\"labels\":{\"tenant\":\"1\"},\"value\":96}\n",
+        "{\"kind\":\"gauge\",\"name\":\"mts_vswitch_ring_hwm\",",
+        "\"labels\":{\"port\":\"2\",\"vswitch\":\"0\"},\"value\":5}\n",
+        "{\"kind\":\"histogram\",\"name\":\"mts_e2e_latency_ns\",\"labels\":{},",
+        "\"count\":4,\"min\":1000,\"p50\":1984,\"p90\":3968,\"p99\":3968,",
+        "\"p999\":3968,\"max\":4000}\n",
+    );
+    assert_eq!(sample_metrics().render_jsonl(), expected);
 }
 
 #[test]

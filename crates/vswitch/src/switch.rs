@@ -132,6 +132,11 @@ pub struct VirtualSwitch {
     /// Per-cookie packet/byte statistics including fast-path hits (the
     /// megaflow push-back real OvS performs during revalidation).
     cookie_stats: HashMap<u64, crate::table::FlowStats>,
+    /// Per-cookie slow-path traversal counts — how many of a cookie's
+    /// packets missed the flow cache. Billing weighs a tenant's share of
+    /// vswitch CPU by hits and misses separately, since a miss costs an
+    /// order of magnitude more than a hit.
+    cookie_misses: HashMap<u64, u64>,
 }
 
 /// Errors from switch configuration.
@@ -169,6 +174,7 @@ impl VirtualSwitch {
             cache: FlowCache::new(8192),
             stats: SwitchStats::default(),
             cookie_stats: HashMap::new(),
+            cookie_misses: HashMap::new(),
         }
     }
 
@@ -280,14 +286,14 @@ impl VirtualSwitch {
     pub fn process(&mut self, in_port: PortNo, frame: Frame) -> Vec<(PortNo, Frame)> {
         self.stats.received += 1;
         let key = FlowKey::of(in_port, &frame);
-        let (ops, cookies) = match self.cache.get(&key) {
-            Some((ops, cookies)) => (ops, cookies),
+        let (ops, cookies, missed) = match self.cache.get(&key) {
+            Some((ops, cookies)) => (ops, cookies, false),
             None => {
                 let (ops, cookies, cacheable) = self.resolve(in_port, &frame);
                 if cacheable {
                     self.cache.insert(key, ops.clone(), cookies.clone());
                 }
-                (ops, cookies)
+                (ops, cookies, true)
             }
         };
         // Credit the matched rules' cookies (slow path already counted in
@@ -297,6 +303,9 @@ impl VirtualSwitch {
             let st = self.cookie_stats.entry(cookie).or_default();
             st.packets += 1;
             st.bytes += wire;
+            if missed {
+                *self.cookie_misses.entry(cookie).or_insert(0) += 1;
+            }
         }
         self.apply(&ops, frame)
     }
@@ -308,6 +317,11 @@ impl VirtualSwitch {
             .get(&cookie)
             .map(|s| (s.packets, s.bytes))
             .unwrap_or((0, 0))
+    }
+
+    /// How many of `cookie`'s packets took the slow path (cache miss).
+    pub fn misses_by_cookie(&self, cookie: u64) -> u64 {
+        self.cookie_misses.get(&cookie).copied().unwrap_or(0)
     }
 
     /// Resolves the pipeline into concrete ops for this packet's key.
@@ -647,6 +661,26 @@ mod tests {
         let cs = sw.cache_stats();
         assert_eq!(cs.misses, 1);
         assert_eq!(cs.hits, 1);
+    }
+
+    #[test]
+    fn cookie_miss_counts_track_slow_path_only() {
+        let (mut sw, a, b) = two_port_switch();
+        sw.install(
+            0,
+            FlowRule::new(1, FlowMatch::any(), vec![Action::Output(b)]).with_cookie(9),
+        )
+        .unwrap();
+        for _ in 0..5 {
+            let _ = sw.process(a, frame(Ipv4Addr::new(1, 1, 1, 1)));
+        }
+        // First packet resolves (miss); the rest ride the cache.
+        assert_eq!(sw.misses_by_cookie(9), 1);
+        assert_eq!(sw.stats_by_cookie(9).0, 5);
+        // A second flow key for the same cookie misses once more.
+        let _ = sw.process(a, frame(Ipv4Addr::new(2, 2, 2, 2)));
+        assert_eq!(sw.misses_by_cookie(9), 2);
+        assert_eq!(sw.misses_by_cookie(1234), 0);
     }
 
     #[test]

@@ -37,9 +37,12 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("bench-check") => bench_check(args.next().as_deref().unwrap_or("BENCH_MTS.json")),
         other => {
             eprintln!(
-                "usage: cargo xtask lint    (got {:?})\n\nchecks: wall-clock, no-print, no-unwrap, hashmap-iter",
+                "usage: cargo xtask <lint | bench-check [FILE]>    (got {:?})\n\n\
+                 lint checks: wall-clock, no-print, no-unwrap, hashmap-iter\n\
+                 bench-check validates a perf-trajectory snapshot (schema mts-bench-v1)",
                 other.unwrap_or("nothing")
             );
             ExitCode::from(2)
@@ -85,6 +88,307 @@ fn lint() -> ExitCode {
             "xtask lint: {} finding(s) in {files} files; waive with a justified `lint:allow(<check>)` comment",
             findings.len()
         );
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bench-check: validate a BENCH_MTS.json perf-trajectory snapshot.
+// ---------------------------------------------------------------------------
+
+/// A minimal JSON value — enough to validate the snapshot without pulling
+/// in a JSON dependency. Object keys keep insertion order.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = JsonParser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(v)
+    }
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.b.get(self.i).ok_or("truncated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    }
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            let k = self.string()?;
+            self.eat(b':')?;
+            let v = self.value()?;
+            out.push((k, v));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+/// Validates a `mts-bench-v1` perf-trajectory snapshot: schema tag, mode,
+/// per-workload field presence and types, non-negative rates, and the
+/// internal identities (Σ dispatch == events; events_per_sec and
+/// sim_mpps_per_wall_sec consistent with their inputs).
+fn bench_check(path: &str) -> ExitCode {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut errors = Vec::new();
+    let doc = match JsonParser::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench-check: {path}: invalid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("mts-bench-v1") => {}
+        other => errors.push(format!("schema must be \"mts-bench-v1\", got {other:?}")),
+    }
+    match doc.get("mode").and_then(Json::as_str) {
+        Some("debug") | Some("release") => {}
+        other => errors.push(format!("mode must be debug|release, got {other:?}")),
+    }
+    let workloads = match doc.get("workloads") {
+        Some(Json::Arr(ws)) if !ws.is_empty() => ws.as_slice(),
+        Some(Json::Arr(_)) => {
+            errors.push("workloads must be non-empty".to_string());
+            &[]
+        }
+        _ => {
+            errors.push("missing workloads array".to_string());
+            &[]
+        }
+    };
+    let mut n = 0usize;
+    for (i, w) in workloads.iter().enumerate() {
+        n += 1;
+        let name = w
+            .get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("workloads[{i}]"));
+        if name.is_empty() {
+            errors.push(format!("workloads[{i}]: empty name"));
+        }
+        let mut num = |key: &str| -> f64 {
+            match w.get(key).and_then(Json::as_num) {
+                Some(v) if v >= 0.0 && v.is_finite() => v,
+                Some(v) => {
+                    errors.push(format!("{name}: {key} must be finite and >= 0, got {v}"));
+                    0.0
+                }
+                None => {
+                    errors.push(format!("{name}: missing numeric field {key}"));
+                    0.0
+                }
+            }
+        };
+        let events = num("events");
+        let frames = num("frames");
+        let sim_seconds = num("sim_seconds");
+        let wall = num("wall_seconds");
+        let eps = num("events_per_sec");
+        let mpps = num("sim_mpps_per_wall_sec");
+        if events < 1.0 {
+            errors.push(format!("{name}: a profiled run must dispatch events"));
+        }
+        if sim_seconds <= 0.0 {
+            errors.push(format!("{name}: sim_seconds must be positive"));
+        }
+        let dispatch_sum = match w.get("dispatch") {
+            Some(Json::Obj(kv)) => kv
+                .iter()
+                .map(|(k, v)| {
+                    let n = v.as_num().unwrap_or(-1.0);
+                    if n < 0.0 || n.fract() != 0.0 {
+                        errors.push(format!("{name}: dispatch[{k}] must be a whole count"));
+                    }
+                    n.max(0.0)
+                })
+                .sum::<f64>(),
+            _ => {
+                errors.push(format!("{name}: missing dispatch object"));
+                0.0
+            }
+        };
+        if dispatch_sum != events {
+            errors.push(format!(
+                "{name}: dispatch counts sum to {dispatch_sum} but events is {events}"
+            ));
+        }
+        // Rate identities, to ~0.1% (the snapshot rounds to 6 decimals).
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-3 * b.abs().max(1.0);
+        if wall > 0.0 {
+            if !close(eps, events / wall) {
+                errors.push(format!(
+                    "{name}: events_per_sec {eps} inconsistent with events/wall {}",
+                    events / wall
+                ));
+            }
+            if !close(mpps, frames / 1e6 / wall) {
+                errors.push(format!(
+                    "{name}: sim_mpps_per_wall_sec {mpps} inconsistent with frames/1e6/wall {}",
+                    frames / 1e6 / wall
+                ));
+            }
+        }
+    }
+    if errors.is_empty() {
+        println!("bench-check: {path}: {n} workload(s) valid (schema mts-bench-v1)");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("bench-check: {path}: {e}");
+        }
+        eprintln!("bench-check: {path}: {} error(s)", errors.len());
         ExitCode::FAILURE
     }
 }
