@@ -29,7 +29,7 @@ use mts_core::billing::{bill, billing_accuracy, BillingAccuracy};
 use mts_core::controller::{Controller, DeployError};
 use mts_core::meters::Layer;
 use mts_core::perfiso::{noisy_matrix, NoisyOpts, SloCell};
-use mts_core::runtime::{start_udp_generator, RuntimeCfg, Sim, World};
+use mts_core::runtime::{start_udp_churn_generator, start_udp_generator, RuntimeCfg, Sim, World};
 use mts_core::spec::{DeploymentSpec, Scenario, SecurityLevel};
 use mts_host::ResourceMode;
 use mts_net::MacAddr;
@@ -463,14 +463,23 @@ pub enum ProfileCase {
     UdpLevel2,
     /// The noisy-neighbor flood at Level-2 (attack-heavy event mix).
     NoisyLevel2,
+    /// Destination-port churn at Level-2: every frame presents a fresh
+    /// microflow key, so the flow cache lives in perpetual capacity
+    /// flushes and the slow path dominates (megaflow-miss-heavy).
+    MegaflowChurn,
+    /// Sixteen tenants across eight compartments: stresses fan-out state
+    /// (per-tenant VFs, gateways, flow programs) rather than per-flow rate.
+    TenantFanout,
 }
 
 impl ProfileCase {
     /// Every case, in snapshot order.
-    pub const ALL: [ProfileCase; 3] = [
+    pub const ALL: [ProfileCase; 5] = [
         ProfileCase::UdpBaseline,
         ProfileCase::UdpLevel2,
         ProfileCase::NoisyLevel2,
+        ProfileCase::MegaflowChurn,
+        ProfileCase::TenantFanout,
     ];
 
     /// Stable workload name used in `BENCH_MTS.json`.
@@ -479,6 +488,8 @@ impl ProfileCase {
             ProfileCase::UdpBaseline => "udp-p2v-baseline",
             ProfileCase::UdpLevel2 => "udp-p2v-l2-4",
             ProfileCase::NoisyLevel2 => "noisy-flood-l2-2",
+            ProfileCase::MegaflowChurn => "megaflow-churn-l2-2",
+            ProfileCase::TenantFanout => "tenant-fanout-l2-8",
         }
     }
 }
@@ -501,12 +512,13 @@ pub struct ProfileStats {
 
 /// Runs one profiler case and returns its simulated-side stats.
 pub fn run_profile_case(case: ProfileCase, quick: bool) -> Result<ProfileStats, DeployError> {
-    let (spec, rate_pps, gen_ns, run_ns) = match case {
+    let (spec, rate_pps, gen_ns, run_ns, dport_span) = match case {
         ProfileCase::UdpBaseline => (
             DeploymentSpec::baseline(DatapathKind::Kernel, ResourceMode::Shared, 1, Scenario::P2v),
             200_000.0,
             if quick { 2_000_000 } else { 10_000_000 },
             if quick { 6_000_000 } else { 20_000_000 },
+            1,
         ),
         ProfileCase::UdpLevel2 => (
             DeploymentSpec::mts(
@@ -518,6 +530,7 @@ pub fn run_profile_case(case: ProfileCase, quick: bool) -> Result<ProfileStats, 
             200_000.0,
             if quick { 2_000_000 } else { 10_000_000 },
             if quick { 6_000_000 } else { 20_000_000 },
+            1,
         ),
         ProfileCase::NoisyLevel2 => (
             DeploymentSpec::mts(
@@ -529,7 +542,39 @@ pub fn run_profile_case(case: ProfileCase, quick: bool) -> Result<ProfileStats, 
             if quick { 1_500_000.0 } else { 4_000_000.0 },
             if quick { 3_000_000 } else { 10_000_000 },
             if quick { 8_000_000 } else { 20_000_000 },
+            1,
         ),
+        // A span of 16384 distinct destination ports (2x the flow-cache
+        // capacity) means the cache can never converge: every frame is a
+        // slow-path miss and capacity flushes recur throughout the run.
+        ProfileCase::MegaflowChurn => (
+            DeploymentSpec::mts(
+                SecurityLevel::Level2 { compartments: 2 },
+                DatapathKind::Kernel,
+                ResourceMode::Isolated,
+                Scenario::P2v,
+            ),
+            if quick { 1_000_000.0 } else { 2_000_000.0 },
+            if quick { 3_000_000 } else { 10_000_000 },
+            if quick { 8_000_000 } else { 20_000_000 },
+            16_384,
+        ),
+        ProfileCase::TenantFanout => {
+            let mut spec = DeploymentSpec::mts(
+                SecurityLevel::Level2 { compartments: 8 },
+                DatapathKind::Kernel,
+                ResourceMode::Isolated,
+                Scenario::P2v,
+            );
+            spec.tenants = 16;
+            (
+                spec,
+                if quick { 500_000.0 } else { 1_000_000.0 },
+                if quick { 3_000_000 } else { 10_000_000 },
+                if quick { 8_000_000 } else { 20_000_000 },
+                1,
+            )
+        }
     };
     let d = Controller::deploy(spec)?;
     let mut cfg = RuntimeCfg::for_spec(&spec);
@@ -551,7 +596,14 @@ pub fn run_profile_case(case: ProfileCase, quick: bool) -> Result<ProfileStats, 
             (dmac, t.ip)
         })
         .collect();
-    start_udp_generator(&mut e, flows, rate_pps, 64, Time::from_nanos(gen_ns));
+    start_udp_churn_generator(
+        &mut e,
+        flows,
+        rate_pps,
+        64,
+        Time::from_nanos(gen_ns),
+        dport_span,
+    );
     e.run_until(&mut w, Time::from_nanos(run_ns));
 
     let dispatch: Vec<(&'static str, u64)> = e.dispatch_counts().collect();
@@ -697,6 +749,71 @@ mod tests {
         for expected in ["nic.rx", "vswitch.rx", "vswitch.exec", "gen.tick"] {
             assert!(tags.contains(&expected), "missing dispatch tag {expected}");
         }
+    }
+
+    #[test]
+    fn churn_and_fanout_cases_run_and_balance() {
+        for case in [ProfileCase::MegaflowChurn, ProfileCase::TenantFanout] {
+            let stats = run_profile_case(case, true).unwrap();
+            assert!(stats.events > 0, "{}: no events", stats.name);
+            assert!(stats.frames > 0, "{}: no frames", stats.name);
+            let total: u64 = stats.dispatch.iter().map(|(_, n)| *n).sum();
+            assert_eq!(total, stats.events, "{}: dispatch imbalance", stats.name);
+        }
+    }
+
+    #[test]
+    fn megaflow_churn_defeats_the_flow_cache() {
+        // The same deployment and rate, with and without port churn: churn
+        // must turn a hit-dominated cache into a miss-dominated one.
+        let run = |dport_span: u16| {
+            let spec = DeploymentSpec::mts(
+                SecurityLevel::Level2 { compartments: 2 },
+                DatapathKind::Kernel,
+                ResourceMode::Isolated,
+                Scenario::P2v,
+            );
+            let d = Controller::deploy(spec).unwrap();
+            let mut w = World::new(d, RuntimeCfg::for_spec(&spec), 11);
+            let mut e = Sim::new();
+            w.sink.window = (Time::ZERO, Time::MAX);
+            let flows: Vec<(MacAddr, Ipv4Addr)> = w
+                .plan
+                .tenants
+                .iter()
+                .map(|t| {
+                    let c = spec.compartment_of_tenant(t.index) as usize;
+                    (w.plan.compartments[c].in_out[0].1, t.ip)
+                })
+                .collect();
+            start_udp_churn_generator(
+                &mut e,
+                flows,
+                1_000_000.0,
+                64,
+                Time::from_nanos(3_000_000),
+                dport_span,
+            );
+            e.run_until(&mut w, Time::from_nanos(8_000_000));
+            let mut hits = 0;
+            let mut misses = 0;
+            for vs in &w.vswitches {
+                let cs = vs.inst.sw.cache_stats();
+                hits += cs.hits;
+                misses += cs.misses;
+            }
+            (hits, misses)
+        };
+        let (steady_hits, steady_misses) = run(1);
+        let (churn_hits, churn_misses) = run(16_384);
+        assert!(
+            steady_hits > steady_misses * 10,
+            "steady traffic should be hit-dominated (hits {steady_hits}, misses {steady_misses})"
+        );
+        assert!(
+            churn_misses > churn_hits * 10,
+            "port churn should be miss-dominated (hits {churn_hits}, misses {churn_misses})"
+        );
     }
 
     #[test]

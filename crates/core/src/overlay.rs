@@ -217,7 +217,7 @@ pub fn inner_dst_ip(frame: &Frame) -> Option<Ipv4Addr> {
 /// Cycle attribution tries the destination tenant first and falls back to
 /// the source, so return traffic (tenant → remote) still attributes.
 pub fn inner_ips(frame: &Frame) -> Option<(Ipv4Addr, Ipv4Addr)> {
-    match &frame.payload {
+    match frame.payload.get() {
         Payload::Ipv4(ip) => match &ip.transport {
             Transport::Udp(u) if u.dport == VXLAN_UDP_PORT => match &u.payload {
                 UdpPayload::Vxlan { inner, .. } => match (inner.src_ip(), inner.dst_ip()) {
@@ -235,7 +235,7 @@ pub fn inner_ips(frame: &Frame) -> Option<(Ipv4Addr, Ipv4Addr)> {
 /// True when the frame is a VXLAN envelope (UDP port 4789 with a VXLAN
 /// payload). The overlay-encap cycle meter keys off this.
 pub fn is_encapsulated(frame: &Frame) -> bool {
-    match &frame.payload {
+    match frame.payload.get() {
         Payload::Ipv4(ip) => match &ip.transport {
             Transport::Udp(u) if u.dport == VXLAN_UDP_PORT => {
                 matches!(&u.payload, UdpPayload::Vxlan { .. })

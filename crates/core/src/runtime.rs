@@ -27,8 +27,10 @@ use crate::vfplan::AddressPlan;
 use mts_apps::L2Fwd;
 use mts_host::{LinuxBridge, ResourceMode, VhostCosts};
 use mts_net::{Frame, MacAddr};
-use mts_nic::{NicPort, PfId, SriovNic, VfId};
-use mts_sim::{CoreId, CorePool, DetRng, Dur, Engine, Histogram, Link, Time};
+use mts_nic::{Delivery, NicPort, PfId, SriovNic, VfId};
+use mts_sim::{
+    CoreId, CorePool, DetRng, Dur, Engine, Event, EventFn, FastHashMap, Histogram, Link, Time,
+};
 use mts_telemetry::{DropCause, Hop, NicEndpoint, Telemetry};
 use mts_vswitch::{DatapathCosts, DatapathKind, PortKind, PortNo};
 use std::collections::{BTreeMap, HashMap};
@@ -169,8 +171,9 @@ pub struct VswitchRt {
     pub costs: DatapathCosts,
     /// Kernel (interrupt) or DPDK (poll) semantics.
     pub kernel: bool,
-    /// Packets queued for the datapath but not yet processed, per rx port.
-    pub inflight: HashMap<PortNo, usize>,
+    /// Packets queued for the datapath but not yet processed, indexed by
+    /// rx port number (dense — port numbers are small and per-vswitch).
+    pub inflight: Vec<usize>,
     /// Compartments sharing each of this switch's cores (for jitter).
     pub sharers: u32,
     /// VM liveness (fault injection).
@@ -253,7 +256,15 @@ pub struct World {
     /// Runtime configuration.
     pub cfg: RuntimeCfg,
     /// VF ownership.
-    pub vf_owner: HashMap<(u8, u8), Owner>,
+    pub vf_owner: FastHashMap<(u8, u8), Owner>,
+    /// Tenant index by tenant-VM IPv4 address — the hot-path equivalent of
+    /// [`AddressPlan::tenant_by_ip`]'s linear scan, consulted per frame for
+    /// cycle attribution and sink flow accounting.
+    pub ip_tenant: FastHashMap<u32, u8>,
+    /// Reusable NIC-delivery scratch buffer ([`nic_rx`] is not reentrant:
+    /// the delivery loop only schedules future events), so the per-frame
+    /// switching path never allocates.
+    nic_scratch: Vec<Delivery>,
     /// PF ownership (Baseline host switch), per physical port.
     pub pf_owner: Vec<Option<(usize, PortNo)>>,
     /// UDP sink/tap record.
@@ -296,7 +307,172 @@ pub struct World {
 }
 
 /// The engine type driving a [`World`].
-pub type Sim = Engine<World>;
+pub type Sim = Engine<World, CoreEvent>;
+
+/// Typed event entries for the hot datapath.
+///
+/// Each variant is one step of a frame's journey, stored inline in the
+/// engine's slab (no per-event boxing); the [`CoreEvent::Call`] fallback
+/// carries a boxed closure so cold paths (supervisor ticks, fault
+/// injections, workload setup) keep using the closure `schedule_*` API.
+/// Dispatch-count tags are passed at the schedule site exactly as before,
+/// so the self-profiler's per-kind breakdown is unchanged.
+pub enum CoreEvent {
+    /// A frame arrives at the NIC embedded switch (`"nic.rx"`).
+    NicRx {
+        pf: PfId,
+        port: NicPort,
+        frame: Frame,
+    },
+    /// A frame starts serialization onto the wire of `pf` (`"wire.tx"`).
+    WireTx { pf: PfId, frame: Frame },
+    /// A frame fully arrives at the external end of `pf` (`"wire.rx"`).
+    WireRx { pf: PfId, frame: Frame },
+    /// PCIe crossing toward vswitch `i` port `port` (`"dma"`).
+    DmaToVswitch {
+        i: usize,
+        port: PortNo,
+        frame: Frame,
+    },
+    /// PCIe crossing toward tenant `t` side `side` (`"dma"`).
+    DmaToTenant { t: usize, side: u8, frame: Frame },
+    /// PCIe crossing back into the NIC at `port` (`"dma"`).
+    DmaToNic {
+        pf: PfId,
+        port: NicPort,
+        frame: Frame,
+    },
+    /// A frame reaches a vswitch rx ring (`"vswitch.rx"`).
+    VswitchRx {
+        i: usize,
+        port: PortNo,
+        frame: Frame,
+        via_vhost: bool,
+    },
+    /// The datapath grant ends; the pipeline runs (`"vswitch.exec"`).
+    VswitchExec {
+        i: usize,
+        port: PortNo,
+        frame: Frame,
+        core: CoreId,
+    },
+    /// A frame is delivered into tenant `t` (`"tenant.rx"`/`"vhost.deliver"`).
+    TenantRx { t: usize, side: u8, frame: Frame },
+    /// A tenant l2fwd grant ends (`"tenant.exec"`).
+    TenantFwdExec { t: usize, side: u8, frame: Frame },
+    /// A tenant guest-bridge grant ends (`"tenant.exec"`).
+    TenantBridgeExec { t: usize, side: u8, frame: Frame },
+    /// The l2fwd batching drain timer fires (`"tenant.drain"`).
+    TenantDrain { t: usize, side: u8 },
+    /// A guest-bridge frame reaches the host vhost queue (`"vswitch.rx"`).
+    VhostTx { tenant: u8, side: u8, frame: Frame },
+    /// The UDP probe generator emits one frame (`"gen.tick"`).
+    GenTick {
+        flows: std::sync::Arc<[(MacAddr, std::net::Ipv4Addr)]>,
+        gap: Dur,
+        wire_len: u32,
+        until: Time,
+        seq: u64,
+        /// Destination ports cycled per frame: `PROBE_DPORT + seq % span`.
+        /// 1 keeps the classic single-port probe stream.
+        dport_span: u16,
+    },
+    /// Cold-path fallback: a boxed closure event.
+    Call(EventFn<World, CoreEvent>),
+}
+
+impl Event<World> for CoreEvent {
+    fn fire(self, w: &mut World, e: &mut Sim) {
+        match self {
+            CoreEvent::NicRx { pf, port, frame } => nic_rx(w, e, pf, port, frame),
+            CoreEvent::WireTx { pf, frame } => wire_tx(w, e, pf, frame),
+            CoreEvent::WireRx { pf, frame } => external_rx(w, e, pf, frame),
+            CoreEvent::DmaToVswitch { i, port, frame } => {
+                let now = e.now();
+                let arr = w.nic.dma(now, u64::from(frame.wire_len()));
+                w.max_dma_wait = w.max_dma_wait.max(arr - now);
+                if let Some(rec) = w.telemetry.rec() {
+                    rec.metrics
+                        .observe("mts_dma_wait_ns", &[], (arr - now).as_nanos());
+                }
+                e.schedule_event(
+                    arr,
+                    "vswitch.rx",
+                    CoreEvent::VswitchRx {
+                        i,
+                        port,
+                        frame,
+                        via_vhost: false,
+                    },
+                );
+            }
+            CoreEvent::DmaToTenant { t, side, frame } => {
+                let now = e.now();
+                let arr = w.nic.dma(now, u64::from(frame.wire_len()));
+                w.max_dma_wait = w.max_dma_wait.max(arr - now);
+                if let Some(rec) = w.telemetry.rec() {
+                    rec.metrics
+                        .observe("mts_dma_wait_ns", &[], (arr - now).as_nanos());
+                }
+                e.schedule_event(arr, "tenant.rx", CoreEvent::TenantRx { t, side, frame });
+            }
+            CoreEvent::DmaToNic { pf, port, frame } => {
+                let arr = w.nic.dma(e.now(), u64::from(frame.wire_len()));
+                e.schedule_event(arr, "nic.rx", CoreEvent::NicRx { pf, port, frame });
+            }
+            CoreEvent::VswitchRx {
+                i,
+                port,
+                frame,
+                via_vhost,
+            } => vswitch_rx(w, e, i, port, frame, via_vhost),
+            CoreEvent::VswitchExec {
+                i,
+                port,
+                frame,
+                core,
+            } => vswitch_exec(w, e, i, port, frame, core),
+            CoreEvent::TenantRx { t, side, frame } => tenant_rx(w, e, t, side, frame),
+            CoreEvent::TenantFwdExec { t, side, frame } => tenant_fwd_exec(w, e, t, side, frame),
+            CoreEvent::TenantBridgeExec { t, side, frame } => {
+                tenant_bridge_exec(w, e, t, side, frame)
+            }
+            CoreEvent::TenantDrain { t, side } => tenant_drain(w, e, t, side),
+            CoreEvent::VhostTx {
+                tenant,
+                side,
+                frame,
+            } => {
+                let Some((i, port)) = w
+                    .vswitches
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, vs)| vs.inst.vhost.get(&(tenant, side)).map(|p| (i, *p)))
+                else {
+                    let now = e.now();
+                    w.drop_frame_traced(now, frame.id, DropCause::VhostUnrouted);
+                    return;
+                };
+                vswitch_rx(w, e, i, port, frame, true);
+            }
+            CoreEvent::GenTick {
+                flows,
+                gap,
+                wire_len,
+                until,
+                seq,
+                dport_span,
+            } => generator_tick(w, e, flows, gap, wire_len, until, seq, dport_span),
+            CoreEvent::Call(f) => f(w, e),
+        }
+    }
+}
+
+impl From<EventFn<World, CoreEvent>> for CoreEvent {
+    fn from(f: EventFn<World, CoreEvent>) -> Self {
+        CoreEvent::Call(f)
+    }
+}
 
 impl World {
     /// Builds the runtime world from a deployment.
@@ -365,7 +541,7 @@ impl World {
 
         let kernel = spec.datapath == DatapathKind::Kernel;
         let mut vswitches = Vec::new();
-        let mut vf_owner = HashMap::new();
+        let mut vf_owner = FastHashMap::default();
         let mut pf_owner = vec![None; ports];
         for (i, inst) in d.vswitches.into_iter().enumerate() {
             for (port, attach) in &inst.attach {
@@ -390,7 +566,7 @@ impl World {
                 cores: cores_i,
                 costs: d.costs,
                 kernel,
-                inflight: HashMap::new(),
+                inflight: Vec::new(),
                 sharers,
                 health: VswitchHealth::Healthy,
                 slow_factor: 1.0,
@@ -462,6 +638,12 @@ impl World {
                 }
             })
             .collect();
+        let ip_tenant: FastHashMap<u32, u8> = d
+            .plan
+            .tenants
+            .iter()
+            .map(|t| (u32::from(t.ip), t.index))
+            .collect();
         let root = DetRng::new(seed);
         let mut w = World {
             spec,
@@ -476,6 +658,8 @@ impl World {
             wire_ends: vec![WireEnd::SinkTap; ports],
             cfg,
             vf_owner,
+            ip_tenant,
+            nic_scratch: Vec::new(),
             pf_owner,
             sink: SinkRec {
                 per_flow: vec![0; spec.tenants as usize],
@@ -573,10 +757,10 @@ impl World {
     /// return traffic (tenant → remote) still attributes.
     pub fn tenant_of_frame(&self, frame: &Frame) -> Option<usize> {
         let (src, dst) = crate::overlay::inner_ips(frame)?;
-        self.plan
-            .tenant_by_ip(dst)
-            .or_else(|| self.plan.tenant_by_ip(src))
-            .map(|t| t.index as usize)
+        self.ip_tenant
+            .get(&u32::from(dst))
+            .or_else(|| self.ip_tenant.get(&u32::from(src)))
+            .map(|&t| usize::from(t))
     }
 
     /// Charges layer work to the cycle meters and mirrors the charge into
@@ -681,9 +865,27 @@ pub fn wire_inject(w: &mut World, e: &mut Sim, pf: PfId, frame: Frame) {
             .counter_inc("mts_wire_ingress_total", &[("pf", &pf.0.to_string())]);
     }
     let arrival = w.wires_in[pf.0 as usize].transmit(now, u64::from(frame.wire_len()));
-    e.schedule_at_tagged(arrival, "nic.rx", move |w, e| {
-        nic_rx(w, e, pf, NicPort::Wire, frame)
-    });
+    e.schedule_event(
+        arrival,
+        "nic.rx",
+        CoreEvent::NicRx {
+            pf,
+            port: NicPort::Wire,
+            frame,
+        },
+    );
+}
+
+/// A frame leaves the NIC onto the wire of `pf` (link-down drops here).
+fn wire_tx(w: &mut World, e: &mut Sim, pf: PfId, frame: Frame) {
+    if !w.link_up[pf.0 as usize] {
+        let now = e.now();
+        w.drop_frame_traced(now, frame.id, DropCause::LinkDown);
+        return;
+    }
+    let len = u64::from(frame.wire_len());
+    let arr = w.wires_out[pf.0 as usize].transmit(e.now(), len);
+    e.schedule_event(arr, "wire.rx", CoreEvent::WireRx { pf, frame });
 }
 
 /// A frame arrives at the NIC's embedded switch on PF `pf`, port `port`.
@@ -693,13 +895,16 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
     let fid = frame.id;
     let from = nic_endpoint(w, pf, port);
     let before = w.nic.counters();
-    let deliveries = match w.nic.ingress(pf, port, frame) {
-        Ok(d) => d,
-        Err(_) => {
-            w.drop_frame_traced(now, fid, DropCause::NicError);
-            return;
-        }
-    };
+    let mut deliveries = std::mem::take(&mut w.nic_scratch);
+    deliveries.clear();
+    if w.nic
+        .ingress_into(pf, port, frame, &mut deliveries)
+        .is_err()
+    {
+        w.nic_scratch = deliveries;
+        w.drop_frame_traced(now, fid, DropCause::NicError);
+        return;
+    }
     let after = w.nic.counters();
     if after.dropped_spoof > before.dropped_spoof {
         w.drop_frame_traced(now, fid, DropCause::NicSpoof);
@@ -710,7 +915,7 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
     if after.dropped_vlan > before.dropped_vlan {
         w.drop_frame_traced(now, fid, DropCause::NicVlan);
     }
-    for d in deliveries {
+    for d in deliveries.drain(..) {
         if w.telemetry.is_enabled() {
             let to = nic_endpoint(w, pf, d.port);
             if let Some(rec) = w.telemetry.rec() {
@@ -768,80 +973,56 @@ pub fn nic_rx(w: &mut World, e: &mut Sim, pf: PfId, port: NicPort, frame: Frame)
         }
         match d.port {
             NicPort::Wire => {
-                let frame = d.frame;
-                e.schedule_at_tagged(t, "wire.tx", move |w, e| {
-                    if !w.link_up[pf.0 as usize] {
-                        let now = e.now();
-                        w.drop_frame_traced(now, frame.id, DropCause::LinkDown);
-                        return;
-                    }
-                    let len = u64::from(frame.wire_len());
-                    let arr = w.wires_out[pf.0 as usize].transmit(e.now(), len);
-                    e.schedule_at_tagged(arr, "wire.rx", move |w, e| external_rx(w, e, pf, frame));
-                });
+                e.schedule_event(t, "wire.tx", CoreEvent::WireTx { pf, frame: d.frame });
             }
             NicPort::Pf => {
                 match w.pf_owner[pf.0 as usize] {
                     Some((i, port)) => {
-                        let frame = d.frame;
                         // Charge the PCIe crossing at its actual instant:
                         // charging shared links with future timestamps
                         // would create phantom reservations other traffic
                         // queues behind.
-                        e.schedule_at_tagged(t, "dma", move |w, e| {
-                            let len = u64::from(frame.wire_len());
-                            let arr = w.nic.dma(e.now(), len);
-                            w.max_dma_wait = w.max_dma_wait.max(arr - e.now());
-                            if let Some(rec) = w.telemetry.rec() {
-                                rec.metrics.observe(
-                                    "mts_dma_wait_ns",
-                                    &[],
-                                    (arr - e.now()).as_nanos(),
-                                );
-                            }
-                            e.schedule_at_tagged(arr, "vswitch.rx", move |w, e| {
-                                vswitch_rx(w, e, i, port, frame, false);
-                            });
-                        });
+                        e.schedule_event(
+                            t,
+                            "dma",
+                            CoreEvent::DmaToVswitch {
+                                i,
+                                port,
+                                frame: d.frame,
+                            },
+                        );
                     }
                     None => w.drop_frame_traced(t, d.frame.id, DropCause::PfUnclaimed),
                 }
             }
             NicPort::Vf(vf) => match w.vf_owner.get(&(pf.0, vf.0)).copied() {
                 Some(Owner::Vswitch(i, port)) => {
-                    let frame = d.frame;
-                    e.schedule_at_tagged(t, "dma", move |w, e| {
-                        let len = u64::from(frame.wire_len());
-                        let arr = w.nic.dma(e.now(), len);
-                        w.max_dma_wait = w.max_dma_wait.max(arr - e.now());
-                        if let Some(rec) = w.telemetry.rec() {
-                            rec.metrics
-                                .observe("mts_dma_wait_ns", &[], (arr - e.now()).as_nanos());
-                        }
-                        e.schedule_at_tagged(arr, "vswitch.rx", move |w, e| {
-                            vswitch_rx(w, e, i, port, frame, false);
-                        });
-                    });
+                    e.schedule_event(
+                        t,
+                        "dma",
+                        CoreEvent::DmaToVswitch {
+                            i,
+                            port,
+                            frame: d.frame,
+                        },
+                    );
                 }
                 Some(Owner::Tenant(t_idx, side)) => {
-                    let frame = d.frame;
-                    e.schedule_at_tagged(t, "dma", move |w, e| {
-                        let len = u64::from(frame.wire_len());
-                        let arr = w.nic.dma(e.now(), len);
-                        w.max_dma_wait = w.max_dma_wait.max(arr - e.now());
-                        if let Some(rec) = w.telemetry.rec() {
-                            rec.metrics
-                                .observe("mts_dma_wait_ns", &[], (arr - e.now()).as_nanos());
-                        }
-                        e.schedule_at_tagged(arr, "tenant.rx", move |w, e| {
-                            tenant_rx(w, e, t_idx, side, frame);
-                        });
-                    });
+                    e.schedule_event(
+                        t,
+                        "dma",
+                        CoreEvent::DmaToTenant {
+                            t: t_idx,
+                            side,
+                            frame: d.frame,
+                        },
+                    );
                 }
                 None => w.drop_frame_traced(t, d.frame.id, DropCause::VfUnclaimed),
             },
         }
     }
+    w.nic_scratch = deliveries;
 }
 
 /// A frame arrives at a vswitch port (from a VF, the PF, or via vhost).
@@ -863,7 +1044,11 @@ pub fn vswitch_rx(
     let tenant = w.tenant_of_frame(&frame);
     let vs = &mut w.vswitches[i];
     let cap = w.cfg.rx_ring;
-    let queued = vs.inflight.entry(port).or_insert(0);
+    let idx = port.0 as usize;
+    if idx >= vs.inflight.len() {
+        vs.inflight.resize(idx + 1, 0);
+    }
+    let queued = &mut vs.inflight[idx];
     if *queued >= cap {
         w.drop_frame_traced(now, frame.id, DropCause::VswitchRing);
         return;
@@ -946,16 +1131,23 @@ pub fn vswitch_rx(
     // path is host-kernel involvement (latency, not core occupancy).
     w.meter_layer(Layer::Vhost, tenant, vhost_copy);
     w.meter_layer(Layer::HostKernel, tenant, irq_delay);
-    e.schedule_at_tagged(grant.end, "vswitch.exec", move |w, e| {
-        vswitch_exec(w, e, i, port, frame, core_id);
-    });
+    e.schedule_event(
+        grant.end,
+        "vswitch.exec",
+        CoreEvent::VswitchExec {
+            i,
+            port,
+            frame,
+            core: core_id,
+        },
+    );
 }
 
 /// The datapath thread picks the frame up and runs the pipeline.
 fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame, core: CoreId) {
     let now = e.now();
     let vs = &mut w.vswitches[i];
-    if let Some(q) = vs.inflight.get_mut(&port) {
+    if let Some(q) = vs.inflight.get_mut(port.0 as usize) {
         *q = q.saturating_sub(1);
     }
     if vs.health != VswitchHealth::Healthy {
@@ -971,7 +1163,7 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
     // Proxy-ARP (Sec. 3.2): the controller configured this vswitch as the
     // ARP responder for its tenants' gateway IPs; requests are answered
     // directly out of the ingress port.
-    if let mts_net::Payload::Arp(req) = &frame.payload {
+    if let mts_net::Payload::Arp(req) = frame.payload.get() {
         if req.op == mts_net::ArpOp::Request {
             if let Some((_, gw_mac)) = vs
                 .inst
@@ -983,12 +1175,15 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
                 let reply = Frame::arp(gw_mac, req.reply_to(gw_mac));
                 let attach = vs.inst.attach.get(&port).copied();
                 if let Some(PortAttach::Vf(pf, vf)) = attach {
-                    e.schedule_at_tagged(now, "dma", move |w, e| {
-                        let arr = w.nic.dma(e.now(), u64::from(reply.wire_len()));
-                        e.schedule_at_tagged(arr, "nic.rx", move |w, e| {
-                            nic_rx(w, e, pf, NicPort::Vf(vf), reply);
-                        });
-                    });
+                    e.schedule_event(
+                        now,
+                        "dma",
+                        CoreEvent::DmaToNic {
+                            pf,
+                            port: NicPort::Vf(vf),
+                            frame: reply,
+                        },
+                    );
                 }
                 return;
             }
@@ -1095,20 +1290,26 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
         }
         match attach {
             Some(PortAttach::Vf(pf, vf)) => {
-                e.schedule_at_tagged(t, "dma", move |w, e| {
-                    let arr = w.nic.dma(e.now(), u64::from(out_frame.wire_len()));
-                    e.schedule_at_tagged(arr, "nic.rx", move |w, e| {
-                        nic_rx(w, e, pf, NicPort::Vf(vf), out_frame);
-                    });
-                });
+                e.schedule_event(
+                    t,
+                    "dma",
+                    CoreEvent::DmaToNic {
+                        pf,
+                        port: NicPort::Vf(vf),
+                        frame: out_frame,
+                    },
+                );
             }
             Some(PortAttach::Pf(pf)) => {
-                e.schedule_at_tagged(t, "dma", move |w, e| {
-                    let arr = w.nic.dma(e.now(), u64::from(out_frame.wire_len()));
-                    e.schedule_at_tagged(arr, "nic.rx", move |w, e| {
-                        nic_rx(w, e, pf, NicPort::Pf, out_frame);
-                    });
-                });
+                e.schedule_event(
+                    t,
+                    "dma",
+                    CoreEvent::DmaToNic {
+                        pf,
+                        port: NicPort::Pf,
+                        frame: out_frame,
+                    },
+                );
             }
             Some(PortAttach::Vhost(tenant, side)) => {
                 let mut arr = t + w.cfg.vhost.guest_notify;
@@ -1123,9 +1324,15 @@ fn vswitch_exec(w: &mut World, e: &mut Sim, i: usize, port: PortNo, frame: Frame
                 if let Some(stall) = w.vhost_stall_until.get(t_idx) {
                     arr = arr.max(*stall);
                 }
-                e.schedule_at_tagged(arr, "vhost.deliver", move |w, e| {
-                    tenant_rx(w, e, t_idx, side, out_frame);
-                });
+                e.schedule_event(
+                    arr,
+                    "vhost.deliver",
+                    CoreEvent::TenantRx {
+                        t: t_idx,
+                        side,
+                        frame: out_frame,
+                    },
+                );
             }
             None => w.drop_frame_traced(t, out_frame.id, DropCause::UnattachedPort),
         }
@@ -1165,9 +1372,11 @@ pub fn tenant_rx(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Frame) {
                 .acquire(now, user, cost);
             // Tenant-VM layer: always exact — the VM is the tenant's.
             w.meter_layer(Layer::TenantVm, Some(t), grant.end - grant.start);
-            e.schedule_at_tagged(grant.end, "tenant.exec", move |w, e| {
-                tenant_fwd_exec(w, e, t, side, frame)
-            });
+            e.schedule_event(
+                grant.end,
+                "tenant.exec",
+                CoreEvent::TenantFwdExec { t, side, frame },
+            );
         }
         TenantKind::Bridge(_) => {
             // Guest bridge: virtio IRQ latency, then kernel forwarding.
@@ -1181,9 +1390,11 @@ pub fn tenant_rx(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Frame) {
                 .expect("tenant core exists")
                 .acquire(ready, user, cost);
             w.meter_layer(Layer::TenantVm, Some(t), grant.end - grant.start);
-            e.schedule_at_tagged(grant.end, "tenant.exec", move |w, e| {
-                tenant_bridge_exec(w, e, t, side, frame);
-            });
+            e.schedule_event(
+                grant.end,
+                "tenant.exec",
+                CoreEvent::TenantBridgeExec { t, side, frame },
+            );
         }
         TenantKind::Endpoint(h) => {
             let h = *h;
@@ -1210,9 +1421,11 @@ fn tenant_fwd_exec(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Frame)
         if !drain_armed[s] {
             drain_armed[s] = true;
             let deadline = fwd[s].next_drain().unwrap_or(now + Dur::micros(100));
-            e.schedule_at_tagged(deadline.max(now), "tenant.drain", move |w, e| {
-                tenant_drain(w, e, t, side);
-            });
+            e.schedule_event(
+                deadline.max(now),
+                "tenant.drain",
+                CoreEvent::TenantDrain { t, side },
+            );
         }
         return;
     }
@@ -1264,9 +1477,15 @@ fn tenant_emit(w: &mut World, e: &mut Sim, t: usize, tx: u8, frames: Vec<Frame>)
                 .counter_inc("mts_tenant_tx_total", &[("tenant", &t.to_string())]);
         }
         let arr = w.nic.dma(now, u64::from(frame.wire_len()));
-        e.schedule_at_tagged(arr, "nic.rx", move |w, e| {
-            nic_rx(w, e, pf, NicPort::Vf(vf), frame)
-        });
+        e.schedule_event(
+            arr,
+            "nic.rx",
+            CoreEvent::NicRx {
+                pf,
+                port: NicPort::Vf(vf),
+                frame,
+            },
+        );
     }
 }
 
@@ -1290,19 +1509,15 @@ fn tenant_bridge_exec(w: &mut World, e: &mut Sim, t: usize, side: u8, frame: Fra
             arr = arr.max(*stall);
         }
         let tenant_idx = t as u8;
-        e.schedule_at_tagged(arr, "vswitch.rx", move |w, e| {
-            let Some((i, port)) = w.vswitches.iter().enumerate().find_map(|(i, vs)| {
-                vs.inst
-                    .vhost
-                    .get(&(tenant_idx, out_side as u8))
-                    .map(|p| (i, *p))
-            }) else {
-                let now = e.now();
-                w.drop_frame_traced(now, frame.id, DropCause::VhostUnrouted);
-                return;
-            };
-            vswitch_rx(w, e, i, port, frame, true);
-        });
+        e.schedule_event(
+            arr,
+            "vswitch.rx",
+            CoreEvent::VhostTx {
+                tenant: tenant_idx,
+                side: out_side as u8,
+                frame,
+            },
+        );
     }
 }
 
@@ -1328,8 +1543,8 @@ fn external_rx(w: &mut World, e: &mut Sim, pf: PfId, frame: Frame) {
                 w.sink.latency.record(lat);
                 // Flow attribution sees through one overlay layer.
                 let flow = crate::overlay::inner_dst_ip(&frame)
-                    .and_then(|ip| w.plan.tenant_by_ip(ip))
-                    .map(|t| t.index as usize);
+                    .and_then(|ip| w.ip_tenant.get(&u32::from(ip)))
+                    .map(|&t| usize::from(t));
                 if let Some(idx) = flow {
                     if idx < w.sink.per_flow.len() {
                         w.sink.per_flow[idx] += 1;
@@ -1363,52 +1578,93 @@ pub fn start_udp_generator(
     wire_len: u32,
     until: Time,
 ) {
+    start_udp_churn_generator(e, flows, rate_pps, wire_len, until, 1);
+}
+
+/// Like [`start_udp_generator`], but cycles the UDP destination port through
+/// `dport_span` consecutive values so every frame can present a fresh
+/// microflow key to the vswitch flow cache. `dport_span == 1` is the classic
+/// single-port probe stream; a span larger than the cache makes the workload
+/// perpetually miss-heavy.
+pub fn start_udp_churn_generator(
+    e: &mut Sim,
+    flows: Vec<(MacAddr, std::net::Ipv4Addr)>,
+    rate_pps: f64,
+    wire_len: u32,
+    until: Time,
+    dport_span: u16,
+) {
     if flows.is_empty() || rate_pps <= 0.0 {
         return;
     }
     let gap = Dur::from_secs_f64(1.0 / rate_pps);
-    e.schedule_at_tagged(Time::ZERO, "gen.tick", move |w, e| {
-        generator_tick(w, e, flows, gap, wire_len, until, 0);
-    });
+    let flows: std::sync::Arc<[(MacAddr, std::net::Ipv4Addr)]> = flows.into();
+    e.schedule_event(
+        Time::ZERO,
+        "gen.tick",
+        CoreEvent::GenTick {
+            flows,
+            gap,
+            wire_len,
+            until,
+            seq: 0,
+            dport_span: dport_span.max(1),
+        },
+    );
 }
 
+/// Base destination port for generated UDP probes.
+pub const PROBE_DPORT: u16 = 5001;
+
+#[allow(clippy::too_many_arguments)]
 fn generator_tick(
     w: &mut World,
     e: &mut Sim,
-    flows: Vec<(MacAddr, std::net::Ipv4Addr)>,
+    flows: std::sync::Arc<[(MacAddr, std::net::Ipv4Addr)]>,
     gap: Dur,
     wire_len: u32,
     until: Time,
     seq: u64,
+    dport_span: u16,
 ) {
     let now = e.now();
     if now >= until {
         return;
     }
     let (dmac, dst_ip) = flows[(seq % flows.len() as u64) as usize];
+    let dport = PROBE_DPORT.wrapping_add((seq % u64::from(dport_span)) as u16);
     let frame = Frame::udp_probe(
         w.plan.lg_mac,
         dmac,
         w.plan.lg_ip,
         dst_ip,
-        5001,
+        dport,
         seq,
         wire_len,
     )
     .stamped(now.as_nanos());
     if w.sink.in_window(now) {
         w.sink.sent += 1;
-        if let Some(t) = w.plan.tenant_by_ip(dst_ip) {
-            let idx = t.index as usize;
+        if let Some(&t) = w.ip_tenant.get(&u32::from(dst_ip)) {
+            let idx = usize::from(t);
             if idx < w.sink.sent_by_flow.len() {
                 w.sink.sent_by_flow[idx] += 1;
             }
         }
     }
     wire_inject(w, e, PfId(0), frame);
-    e.schedule_at_tagged(now + gap, "gen.tick", move |w, e| {
-        generator_tick(w, e, flows, gap, wire_len, until, seq + 1);
-    });
+    e.schedule_event(
+        now + gap,
+        "gen.tick",
+        CoreEvent::GenTick {
+            flows,
+            gap,
+            wire_len,
+            until,
+            seq: seq + 1,
+            dport_span,
+        },
+    );
 }
 
 #[cfg(test)]
@@ -1551,7 +1807,7 @@ mod tests {
         );
         assert_eq!(tso_factor(&bulk), 2);
         let mut ack = bulk.clone();
-        if let Payload::Ipv4(ip) = &mut ack.payload {
+        if let Payload::Ipv4(ip) = ack.payload.make_mut() {
             if let Transport::Tcp(t) = &mut ip.transport {
                 t.payload_len = 0;
             }

@@ -274,7 +274,7 @@ fn host_exec(w: &mut World, e: &mut Sim, h: usize, frame: Frame) {
     let now = e.now();
     // Gateway ARP replies complete dynamic resolution and flush queued
     // segments.
-    if let mts_net::Payload::Arp(arp) = &frame.payload {
+    if let mts_net::Payload::Arp(arp) = frame.payload.get() {
         let flushed = {
             let host = &mut w.hosts[h];
             if arp.op == mts_net::ArpOp::Reply && host.gw_ip == Some(arp.sender_ip) {

@@ -6,7 +6,9 @@ use crate::ethertype::{EtherType, VlanTag};
 use crate::ipv4::{Ipv4Packet, Transport, UdpDatagram, UdpPayload};
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Well-known frame and header sizes in bytes.
 pub mod sizes {
@@ -53,6 +55,67 @@ pub enum Payload {
     },
 }
 
+/// Copy-on-write payload storage.
+///
+/// Hops that merely forward a frame share one payload allocation — cloning
+/// a [`Frame`] bumps a reference count instead of deep-copying the packet
+/// tree (which for VXLAN frames includes a boxed inner frame). Sites that
+/// rewrite headers call [`CowPayload::make_mut`], which clones only when
+/// the payload is actually shared (encap/decap, TTL decrement, NAT-style
+/// rewrites).
+#[derive(Clone, Debug)]
+pub struct CowPayload(Arc<Payload>);
+
+impl CowPayload {
+    /// Wraps a payload in fresh (unshared) CoW storage.
+    pub fn new(payload: Payload) -> Self {
+        CowPayload(Arc::new(payload))
+    }
+
+    /// Read access to the payload.
+    pub fn get(&self) -> &Payload {
+        &self.0
+    }
+
+    /// Mutable access; clones the payload first if it is shared.
+    pub fn make_mut(&mut self) -> &mut Payload {
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// Unwraps to an owned payload, cloning only if shared.
+    pub fn into_inner(self) -> Payload {
+        Arc::try_unwrap(self.0).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Whether two handles share the same allocation (no copy happened).
+    pub fn shares_storage_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Deref for CowPayload {
+    type Target = Payload;
+
+    fn deref(&self) -> &Payload {
+        &self.0
+    }
+}
+
+impl From<Payload> for CowPayload {
+    fn from(payload: Payload) -> Self {
+        CowPayload::new(payload)
+    }
+}
+
+impl PartialEq for CowPayload {
+    fn eq(&self, other: &Self) -> bool {
+        // Shared storage is equal by construction; otherwise compare contents.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for CowPayload {}
+
 /// An Ethernet frame moving through the simulation.
 ///
 /// Frames are *structural*: headers are typed fields, payload data is
@@ -89,8 +152,8 @@ pub struct Frame {
     pub src: MacAddr,
     /// Optional 802.1Q tag.
     pub vlan: Option<VlanTag>,
-    /// The typed payload.
-    pub payload: Payload,
+    /// The typed payload, in copy-on-write storage shared across hops.
+    pub payload: CowPayload,
     /// Padding bytes added to reach a requested wire length (e.g. 64 B
     /// minimum or a fixed probe size); zero-filled on the wire.
     pub pad: u32,
@@ -105,14 +168,14 @@ impl Frame {
             dst,
             src,
             vlan: None,
-            payload,
+            payload: CowPayload::new(payload),
             pad: 0,
         }
     }
 
     /// The frame's EtherType (of the payload, ignoring any VLAN tag).
     pub fn ethertype(&self) -> EtherType {
-        match &self.payload {
+        match self.payload.get() {
             Payload::Arp(_) => EtherType::Arp,
             Payload::Ipv4(_) => EtherType::Ipv4,
             Payload::Raw { ethertype, .. } => EtherType::from_u16(*ethertype),
@@ -121,7 +184,7 @@ impl Frame {
 
     /// Payload length in bytes (excluding Ethernet header, tag and FCS).
     pub fn payload_len(&self) -> u32 {
-        let inner = match &self.payload {
+        let inner = match self.payload.get() {
             Payload::Arp(_) => 28,
             Payload::Ipv4(ip) => ip.len(),
             Payload::Raw { len, .. } => *len,
@@ -168,7 +231,7 @@ impl Frame {
 
     /// Returns the IPv4 packet, if the payload is IPv4.
     pub fn ipv4(&self) -> Option<&Ipv4Packet> {
-        match &self.payload {
+        match self.payload.get() {
             Payload::Ipv4(p) => Some(p),
             _ => None,
         }
@@ -294,7 +357,7 @@ impl fmt::Display for Frame {
         if let Some(v) = self.vlan {
             write!(f, " {v}")?;
         }
-        match &self.payload {
+        match self.payload.get() {
             Payload::Arp(a) => write!(f, " arp {:?}]", a.op),
             Payload::Ipv4(ip) => write!(
                 f,
@@ -438,6 +501,32 @@ mod tests {
         );
         assert_eq!(u.dst_ip(), Some(Ipv4Addr::new(1, 0, 0, 2)));
         assert_eq!(u.src_ip(), Some(Ipv4Addr::new(1, 0, 0, 1)));
+    }
+
+    #[test]
+    fn clone_shares_payload_until_mutation() {
+        let (a, b) = two_macs();
+        let f = Frame::udp_data(
+            a,
+            b,
+            Ipv4Addr::new(1, 0, 0, 1),
+            Ipv4Addr::new(1, 0, 0, 2),
+            1,
+            2,
+            3,
+        );
+        let mut g = f.clone();
+        assert!(f.payload.shares_storage_with(&g.payload));
+        // Mutation detaches the clone; the original is untouched.
+        if let Payload::Ipv4(ip) = g.payload.make_mut() {
+            ip.ttl -= 1;
+        }
+        assert!(!f.payload.shares_storage_with(&g.payload));
+        assert_eq!(f.ipv4().unwrap().ttl, 64);
+        assert_eq!(g.ipv4().unwrap().ttl, 63);
+        // Payload equality is structural even when storage is distinct.
+        assert_eq!(f.payload, f.clone().payload);
+        assert_ne!(f.payload, g.payload);
     }
 
     #[test]

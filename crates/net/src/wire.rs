@@ -108,7 +108,7 @@ pub fn serialize_without_fcs(frame: &Frame) -> Vec<u8> {
         put_u16(&mut out, tag.tci());
     }
     put_u16(&mut out, frame.ethertype().to_u16());
-    match &frame.payload {
+    match frame.payload.get() {
         Payload::Arp(a) => serialize_arp(&mut out, a),
         Payload::Ipv4(ip) => serialize_ipv4(&mut out, ip),
         Payload::Raw { len, .. } => out.extend(std::iter::repeat_n(0, *len as usize)),
@@ -467,8 +467,8 @@ mod tests {
         );
         let f = Frame::arp(MacAddr::local(3), req);
         let parsed = parse(&serialize(&f)).unwrap();
-        match parsed.payload {
-            Payload::Arp(a) => assert_eq!(a, req),
+        match parsed.payload.get() {
+            Payload::Arp(a) => assert_eq!(*a, req),
             other => panic!("expected ARP, got {other:?}"),
         }
         // 64-byte minimum implies pad recovered on parse.

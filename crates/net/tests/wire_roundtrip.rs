@@ -116,7 +116,7 @@ proptest! {
         prop_assert_eq!(parsed.dst, frame.dst);
         prop_assert_eq!(parsed.vlan, frame.vlan);
         prop_assert_eq!(parsed.wire_len(), frame.wire_len());
-        match (&parsed.payload, &frame.payload) {
+        match (parsed.payload.get(), frame.payload.get()) {
             (Payload::Arp(a), Payload::Arp(b)) => prop_assert_eq!(a, b),
             (Payload::Ipv4(a), Payload::Ipv4(b)) => {
                 prop_assert_eq!(a.src, b.src);

@@ -233,6 +233,19 @@ impl SriovNic {
         Ok(self.pf_mut(pf)?.ingress(port, frame))
     }
 
+    /// Switches one frame entering PF `pf` at `port`, appending deliveries
+    /// to a caller-owned buffer (allocation-free fast path).
+    pub fn ingress_into(
+        &mut self,
+        pf: PfId,
+        port: NicPort,
+        frame: Frame,
+        out: &mut Vec<Delivery>,
+    ) -> Result<(), NicError> {
+        self.pf_mut(pf)?.ingress_into(port, frame, out);
+        Ok(())
+    }
+
     /// Charges one hairpin traversal on PF `pf` at `now`.
     ///
     /// Returns the completion time, or `None` when the hairpin engine's

@@ -3,8 +3,8 @@
 use crate::filter::{evaluate, FilterAction, FilterRule};
 use crate::vf::{NicPort, VfConfig, VfId};
 use mts_net::{Frame, MacAddr};
+use mts_sim::FastHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
 
 /// Maximum virtual functions per physical function (PCI-SIG SR-IOV, and the
 /// paper: "the current standard allows each SR-IOV device to have up to 64
@@ -67,8 +67,13 @@ impl Entry {
 /// exactly that VLAN, with tagging on ingress and stripping on egress.
 #[derive(Clone, Debug, Default)]
 pub struct PfSwitch {
-    vfs: BTreeMap<VfId, VfConfig>,
-    table: HashMap<(u16, u64), Entry>,
+    /// Dense per-VF registers, indexed by `VfId`: a VF lookup on the
+    /// per-frame path is one bounds check, not a tree walk. Ascending-id
+    /// iteration (the old `BTreeMap` order, which flood delivery order
+    /// depends on) falls out of the index.
+    vfs: Vec<Option<VfConfig>>,
+    vf_count: usize,
+    table: FastHashMap<(u16, u64), Entry>,
     filters: Vec<FilterRule>,
     counters: SwitchCounters,
 }
@@ -86,17 +91,20 @@ impl PfSwitch {
 
     /// Returns the number of configured VFs.
     pub fn vf_count(&self) -> usize {
-        self.vfs.len()
+        self.vf_count
     }
 
     /// Returns a VF's configuration.
     pub fn vf(&self, id: VfId) -> Option<&VfConfig> {
-        self.vfs.get(&id)
+        self.vfs.get(usize::from(id.0)).and_then(Option::as_ref)
     }
 
-    /// Iterates over configured VFs.
+    /// Iterates over configured VFs in ascending id order.
     pub fn vfs(&self) -> impl Iterator<Item = (VfId, &VfConfig)> {
-        self.vfs.iter().map(|(k, v)| (*k, v))
+        self.vfs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|cfg| (VfId(i as u8), cfg)))
     }
 
     /// Installs or replaces a VF configuration (PF-driver privilege).
@@ -104,25 +112,33 @@ impl PfSwitch {
     /// Installs a static MAC entry for the VF in its VLAN. Returns `false`
     /// when the 64-VF limit would be exceeded.
     pub fn configure_vf(&mut self, id: VfId, config: VfConfig) -> bool {
-        if !self.vfs.contains_key(&id) && self.vfs.len() >= MAX_VFS_PER_PF {
+        let idx = usize::from(id.0);
+        if idx >= self.vfs.len() {
+            self.vfs.resize(idx + 1, None);
+        }
+        if self.vfs[idx].is_none() && self.vf_count >= MAX_VFS_PER_PF {
             return false;
         }
         // Remove the old static entry if the VF is being reconfigured.
-        if let Some(old) = self.vfs.get(&id) {
-            self.table
-                .remove(&(old.vlan.unwrap_or(0), old.mac.as_u64()));
+        match &self.vfs[idx] {
+            Some(old) => {
+                self.table
+                    .remove(&(old.vlan.unwrap_or(0), old.mac.as_u64()));
+            }
+            None => self.vf_count += 1,
         }
         self.table.insert(
             (config.vlan.unwrap_or(0), config.mac.as_u64()),
             Entry::Static(NicPort::Vf(id)),
         );
-        self.vfs.insert(id, config);
+        self.vfs[idx] = Some(config);
         true
     }
 
     /// Removes a VF and its static MAC entry.
     pub fn remove_vf(&mut self, id: VfId) -> Option<VfConfig> {
-        let cfg = self.vfs.remove(&id)?;
+        let cfg = self.vfs.get_mut(usize::from(id.0))?.take()?;
+        self.vf_count -= 1;
         self.table
             .remove(&(cfg.vlan.unwrap_or(0), cfg.mac.as_u64()));
         // Also purge any entries learned towards the VF.
@@ -179,9 +195,8 @@ impl PfSwitch {
         self.table.clear();
         // Collect first: the table borrow must end before reinsertion.
         let vf_entries: Vec<(u16, u64, VfId)> = self
-            .vfs
-            .iter()
-            .map(|(id, cfg)| (cfg.vlan.unwrap_or(0), cfg.mac.as_u64(), *id))
+            .vfs()
+            .map(|(id, cfg)| (cfg.vlan.unwrap_or(0), cfg.mac.as_u64(), id))
             .collect();
         for (vlan, mac, id) in vf_entries {
             self.table
@@ -210,27 +225,39 @@ impl PfSwitch {
 
     /// Switches one frame entering at `from`; returns zero or more deliveries.
     ///
+    /// Convenience wrapper over [`PfSwitch::ingress_into`] for callers that
+    /// don't keep a scratch buffer (tests, one-shot attack probes).
+    pub fn ingress(&mut self, from: NicPort, frame: Frame) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        self.ingress_into(from, frame, &mut out);
+        out
+    }
+
+    /// Switches one frame entering at `from`, appending deliveries to `out`.
+    ///
     /// This is the pure forwarding decision; timing (PCIe DMA, hairpin
     /// capacity) is charged by the runtime using the [`Delivery::hairpin`]
-    /// flag and the frame sizes.
-    pub fn ingress(&mut self, from: NicPort, frame: Frame) -> Vec<Delivery> {
+    /// flag and the frame sizes. Taking the output buffer from the caller
+    /// keeps the per-frame fast path allocation-free: the runtime reuses
+    /// one scratch `Vec` across every ingress.
+    pub fn ingress_into(&mut self, from: NicPort, frame: Frame, out: &mut Vec<Delivery>) {
         // Step 1: VST ingress processing and spoof checking for VFs.
         let mut frame = frame;
         if let NicPort::Vf(id) = from {
-            let Some(cfg) = self.vfs.get(&id) else {
+            let Some(cfg) = self.vf(id) else {
                 // Frames from unconfigured VFs cannot exist; drop defensively.
                 self.counters.dropped_vlan += 1;
-                return Vec::new();
+                return;
             };
             if cfg.spoof_check && frame.src != cfg.mac {
                 self.counters.dropped_spoof += 1;
-                return Vec::new();
+                return;
             }
             if let Some(vid) = cfg.vlan {
                 if frame.vlan.is_some() {
                     // VST mode: tagged frames from the VM are not allowed.
                     self.counters.dropped_vlan += 1;
-                    return Vec::new();
+                    return;
                 }
                 frame = frame.with_vlan(vid);
             }
@@ -240,7 +267,7 @@ impl PfSwitch {
         // Step 2: security filters.
         if evaluate(&self.filters, from, &frame, vlan) == FilterAction::Drop {
             self.counters.dropped_filter += 1;
-            return Vec::new();
+            return;
         }
 
         // Step 3: MAC learning (source address towards the ingress port).
@@ -248,18 +275,18 @@ impl PfSwitch {
 
         // Step 4: forwarding decision.
         if frame.dst.is_multicast() {
-            return self.flood(from, vlan, frame);
+            return self.flood_into(from, vlan, frame, out);
         }
         match self.lookup(vlan, frame.dst) {
             Some(port) if port == from => {
                 // Destination lives on the ingress port: nothing to do.
-                Vec::new()
             }
             Some(port) => {
                 self.counters.forwarded += 1;
-                vec![self.deliver(from, port, frame)]
+                let d = self.deliver(from, port, frame);
+                out.push(d);
             }
-            None => self.flood(from, vlan, frame),
+            None => self.flood_into(from, vlan, frame, out),
         }
     }
 
@@ -281,50 +308,48 @@ impl PfSwitch {
         }
     }
 
-    /// Ports that are members of `vlan`, for flooding.
-    fn members(&self, vlan: u16) -> Vec<NicPort> {
-        let mut out = vec![NicPort::Wire];
-        if vlan == 0 {
-            out.push(NicPort::Pf);
-        }
-        for (id, cfg) in &self.vfs {
-            let member = match cfg.vlan {
-                Some(v) => v == vlan,
-                None => vlan == 0,
-            };
-            if member {
-                out.push(NicPort::Vf(*id));
-            }
-        }
-        out
-    }
-
-    fn flood(&mut self, from: NicPort, vlan: u16, frame: Frame) -> Vec<Delivery> {
+    /// Floods within `vlan` to every member port except the ingress port,
+    /// appending to `out`. Member order is wire, PF (VLAN 0 only), then VFs
+    /// ascending — delivery order is part of the deterministic contract.
+    fn flood_into(&mut self, from: NicPort, vlan: u16, frame: Frame, out: &mut Vec<Delivery>) {
         // The PF's host interface is not promiscuous: it receives frames
         // matching its own MAC filter plus broadcast/multicast, never
         // flooded unknown unicast.
         let unicast = frame.dst.is_unicast();
-        let targets: Vec<NicPort> = self
-            .members(vlan)
-            .into_iter()
-            .filter(|p| *p != from && !(unicast && *p == NicPort::Pf))
-            .collect();
-        if targets.is_empty() {
-            self.counters.dropped_vlan += 1;
-            return Vec::new();
+        let start = out.len();
+        if from != NicPort::Wire {
+            let d = self.deliver(from, NicPort::Wire, frame.clone());
+            out.push(d);
         }
-        self.counters.flooded += 1;
-        self.counters.flood_copies += targets.len() as u64;
-        targets
-            .into_iter()
-            .map(|port| self.deliver(from, port, frame.clone()))
-            .collect()
+        if vlan == 0 && from != NicPort::Pf && !unicast {
+            let d = self.deliver(from, NicPort::Pf, frame.clone());
+            out.push(d);
+        }
+        for i in 0..self.vfs.len() {
+            let Some(cfg) = &self.vfs[i] else { continue };
+            let member = match cfg.vlan {
+                Some(v) => v == vlan,
+                None => vlan == 0,
+            };
+            let port = NicPort::Vf(VfId(i as u8));
+            if member && port != from {
+                let d = self.deliver(from, port, frame.clone());
+                out.push(d);
+            }
+        }
+        let copies = (out.len() - start) as u64;
+        if copies == 0 {
+            self.counters.dropped_vlan += 1;
+        } else {
+            self.counters.flooded += 1;
+            self.counters.flood_copies += copies;
+        }
     }
 
     fn deliver(&self, from: NicPort, port: NicPort, mut frame: Frame) -> Delivery {
         // VST egress: strip the tag towards VLAN-configured VFs.
         if let NicPort::Vf(id) = port {
-            if let Some(cfg) = self.vfs.get(&id) {
+            if let Some(cfg) = self.vf(id) {
                 if cfg.vlan.is_some() {
                     frame.vlan = None;
                 }

@@ -9,9 +9,9 @@
 //! models timeslice interference. This is what produces the higher latency
 //! variance the paper reports for the shared mode (Fig. 5b).
 
+use crate::hash::FastHashMap;
 use crate::time::{Dur, Time};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Identifies a physical CPU core on the device under test.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
@@ -47,7 +47,7 @@ pub struct CpuCore {
     /// housekeeping stealing ~5% of a co-located vswitch's core).
     overhead: f64,
     busy_total: Dur,
-    per_user_busy: HashMap<UserId, Dur>,
+    per_user_busy: FastHashMap<UserId, Dur>,
     grants: u64,
     ctx_switches: u64,
 }
@@ -62,7 +62,7 @@ impl CpuCore {
             ctx_switch,
             overhead: 1.0,
             busy_total: Dur::ZERO,
-            per_user_busy: HashMap::new(),
+            per_user_busy: FastHashMap::default(),
             grants: 0,
             ctx_switches: 0,
         }

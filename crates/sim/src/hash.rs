@@ -1,0 +1,134 @@
+//! A fast, deterministic hasher for hot-path maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash behind `RandomState`) is
+//! DoS-resistant but costs tens of nanoseconds per lookup — material when a
+//! map sits on the per-frame fast path (flow-cache keys, MAC tables, VF
+//! ownership). Simulation inputs are not adversarial, so the hot maps use
+//! this multiply-xor mixer instead: a couple of instructions per 8-byte
+//! word, with a fixed (non-random) seed so behaviour is identical across
+//! runs and builds.
+//!
+//! Hash-order caveat: like `RandomState` maps, [`FastHashMap`] iteration
+//! order is arbitrary — the workspace lint discipline (sort before
+//! exposure, or never iterate) applies unchanged.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed through [`FastHasher`].
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` keyed through [`FastHasher`].
+pub type FastHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FastHasher>>;
+
+/// Odd multiplier: 2^64 / φ, the usual Fibonacci-hashing constant.
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A multiply-xor word mixer (not cryptographic, not DoS-resistant).
+#[derive(Clone, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        let x = (self.state ^ word).wrapping_mul(K);
+        self.state = x ^ (x >> 32);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            // lint:allow(no-unwrap): chunks_exact(8) yields 8-byte slices
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+        // Mix in the length so zero-padding cannot alias across lengths.
+        self.mix(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.mix(i as u64);
+        self.mix((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FastHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_inputs_hash_equal() {
+        assert_eq!(hash_of((3u16, 7u64)), hash_of((3u16, 7u64)));
+        assert_eq!(hash_of("abcdef"), hash_of("abcdef"));
+    }
+
+    #[test]
+    fn different_inputs_hash_differently() {
+        assert_ne!(hash_of((3u16, 7u64)), hash_of((7u16, 3u64)));
+        assert_ne!(hash_of(0u64), hash_of(1u64));
+        // Length is mixed in: a prefix must not alias its zero-padding.
+        assert_ne!(hash_of(&b"ab"[..]), hash_of(&b"ab\0\0"[..]));
+    }
+
+    #[test]
+    fn maps_work_end_to_end() {
+        let mut m: FastHashMap<(u16, u64), u32> = FastHashMap::default();
+        for i in 0..1_000u64 {
+            m.insert((i as u16, i * 7), i as u32);
+        }
+        assert_eq!(m.len(), 1_000);
+        for i in 0..1_000u64 {
+            assert_eq!(m.get(&(i as u16, i * 7)), Some(&(i as u32)));
+        }
+        let mut s: FastHashSet<u64> = FastHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod hash;
 pub mod link;
 pub mod queue;
 pub mod rng;
@@ -27,7 +28,8 @@ pub mod stats;
 pub mod time;
 
 pub use cpu::{CoreId, CorePool, CpuCore};
-pub use engine::{Engine, UNTAGGED_EVENT};
+pub use engine::{Boxed, Engine, Event, EventFn, EventId, BURST, UNTAGGED_EVENT};
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use link::{Link, Server, ServerDecision};
 pub use queue::Ring;
 pub use rng::DetRng;

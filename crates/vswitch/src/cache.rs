@@ -5,10 +5,16 @@
 //! key so subsequent packets take the *fast path*. Any table modification
 //! or MAC-learning update bumps a generation counter, invalidating stale
 //! entries — the same revalidation discipline OvS applies.
+//!
+//! Cached programs are interned: the op list and cookie list live in shared
+//! `Arc<[_]>` storage, deduplicated across cache entries, so a fast-path hit
+//! hands back two reference-count bumps instead of cloning two `Vec`s, and a
+//! thousand flows resolved to the same actions share one allocation.
 
 use crate::switch::{Op, PortNo};
 use mts_net::{Frame, Transport, UdpPayload, VXLAN_UDP_PORT};
-use std::collections::HashMap;
+use mts_sim::{FastHashMap, FastHashSet};
+use std::sync::Arc;
 
 /// The exact-match key: every field the pipeline may branch on.
 ///
@@ -75,10 +81,44 @@ impl FlowKey {
     }
 }
 
+/// A resolved action program in shared storage: the concrete op list plus
+/// the cookies of the rules it came from (for statistics push-back).
+///
+/// Cloning is two reference-count bumps; the underlying slices are shared
+/// by the cache, the switch fast path and any in-flight lookups alike.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FlowProgram {
+    ops: Arc<[Op]>,
+    cookies: Arc<[u64]>,
+}
+
+impl FlowProgram {
+    /// Builds a program in fresh (unshared, un-interned) storage.
+    pub fn new(ops: Vec<Op>, cookies: Vec<u64>) -> Self {
+        FlowProgram {
+            ops: ops.into(),
+            cookies: cookies.into(),
+        }
+    }
+
+    /// The concrete operations to apply.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Cookies of the matched rules, for statistics credit.
+    pub fn cookies(&self) -> &[u64] {
+        &self.cookies
+    }
+
+    /// Whether two programs share both underlying allocations.
+    pub fn shares_storage_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.ops, &other.ops) && Arc::ptr_eq(&self.cookies, &other.cookies)
+    }
+}
+
 struct CacheEntry {
-    ops: Vec<Op>,
-    /// Cookies of the rules this flow matched, for statistics push-back.
-    cookies: Vec<u64>,
+    prog: FlowProgram,
     generation: u64,
 }
 
@@ -97,7 +137,11 @@ pub struct CacheStats {
 
 /// A bounded exact-match cache of resolved operation lists.
 pub struct FlowCache {
-    map: HashMap<FlowKey, CacheEntry>,
+    map: FastHashMap<FlowKey, CacheEntry>,
+    /// Interning pools deduplicating program storage across entries. Never
+    /// iterated (lookup only), so they introduce no ordering dependence.
+    ops_pool: FastHashSet<Arc<[Op]>>,
+    cookie_pool: FastHashSet<Arc<[u64]>>,
     capacity: usize,
     generation: u64,
     stats: CacheStats,
@@ -107,7 +151,9 @@ impl FlowCache {
     /// Creates a cache bounded to `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         FlowCache {
-            map: HashMap::new(),
+            map: FastHashMap::default(),
+            ops_pool: FastHashSet::default(),
+            cookie_pool: FastHashSet::default(),
             capacity: capacity.max(16),
             generation: 0,
             stats: CacheStats::default(),
@@ -134,13 +180,15 @@ impl FlowCache {
         self.generation += 1;
     }
 
-    /// Looks up the resolved operations and matched-rule cookies for a
-    /// key, if fresh.
-    pub fn get(&mut self, key: &FlowKey) -> Option<(Vec<Op>, Vec<u64>)> {
+    /// Looks up the resolved program for a key, if fresh.
+    ///
+    /// A hit returns a shared handle (two reference-count bumps); nothing
+    /// is cloned or allocated on the fast path.
+    pub fn get(&mut self, key: &FlowKey) -> Option<FlowProgram> {
         match self.map.get(key) {
             Some(e) if e.generation == self.generation => {
                 self.stats.hits += 1;
-                Some((e.ops.clone(), e.cookies.clone()))
+                Some(e.prog.clone())
             }
             Some(_) => {
                 self.stats.stale += 1;
@@ -156,21 +204,40 @@ impl FlowCache {
     }
 
     /// Inserts a resolved operation list (plus matched-rule cookies) for a
-    /// key.
-    pub fn insert(&mut self, key: FlowKey, ops: Vec<Op>, cookies: Vec<u64>) {
+    /// key; returns the interned program for immediate use.
+    pub fn insert(&mut self, key: FlowKey, ops: Vec<Op>, cookies: Vec<u64>) -> FlowProgram {
         if self.map.len() >= self.capacity {
             // Capacity flush, as OvS does when revalidation falls behind.
             self.map.clear();
+            self.ops_pool.clear();
+            self.cookie_pool.clear();
             self.stats.flushes += 1;
         }
+        let prog = FlowProgram {
+            ops: Self::intern(&mut self.ops_pool, ops),
+            cookies: Self::intern(&mut self.cookie_pool, cookies),
+        };
         self.map.insert(
             key,
             CacheEntry {
-                ops,
-                cookies,
+                prog: prog.clone(),
                 generation: self.generation,
             },
         );
+        prog
+    }
+
+    /// Deduplicates a list into pool-shared storage.
+    fn intern<T>(pool: &mut FastHashSet<Arc<[T]>>, items: Vec<T>) -> Arc<[T]>
+    where
+        T: std::hash::Hash + Eq,
+    {
+        if let Some(shared) = pool.get(items.as_slice()) {
+            return shared.clone();
+        }
+        let shared: Arc<[T]> = items.into();
+        pool.insert(shared.clone());
+        shared
     }
 }
 
@@ -209,9 +276,36 @@ mod tests {
         let k = FlowKey::of(PortNo(1), &frame(80));
         assert!(c.get(&k).is_none());
         c.insert(k, vec![Op::Emit(PortNo(3))], vec![7]);
-        assert_eq!(c.get(&k), Some((vec![Op::Emit(PortNo(3))], vec![7])));
+        let hit = c.get(&k).expect("fresh entry");
+        assert_eq!(hit.ops(), &[Op::Emit(PortNo(3))]);
+        assert_eq!(hit.cookies(), &[7]);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn hits_share_storage_with_the_entry() {
+        let mut c = FlowCache::new(100);
+        let k = FlowKey::of(PortNo(1), &frame(80));
+        let inserted = c.insert(k, vec![Op::Emit(PortNo(3))], vec![7]);
+        let h1 = c.get(&k).unwrap();
+        let h2 = c.get(&k).unwrap();
+        assert!(h1.shares_storage_with(&inserted));
+        assert!(h1.shares_storage_with(&h2));
+    }
+
+    #[test]
+    fn equal_programs_intern_to_one_allocation() {
+        let mut c = FlowCache::new(100);
+        let k1 = FlowKey::of(PortNo(1), &frame(80));
+        let k2 = FlowKey::of(PortNo(1), &frame(81));
+        let p1 = c.insert(k1, vec![Op::Emit(PortNo(3))], vec![7]);
+        let p2 = c.insert(k2, vec![Op::Emit(PortNo(3))], vec![7]);
+        assert!(p1.shares_storage_with(&p2));
+        // Different programs get their own storage.
+        let k3 = FlowKey::of(PortNo(1), &frame(82));
+        let p3 = c.insert(k3, vec![Op::Emit(PortNo(4))], vec![7]);
+        assert!(!p3.shares_storage_with(&p1));
     }
 
     #[test]
@@ -224,7 +318,9 @@ mod tests {
         assert_eq!(c.stats().stale, 1);
         // Re-inserted entries are fresh again.
         c.insert(k, vec![Op::Emit(PortNo(4))], Vec::new());
-        assert_eq!(c.get(&k), Some((vec![Op::Emit(PortNo(4))], Vec::new())));
+        let hit = c.get(&k).expect("fresh entry");
+        assert_eq!(hit.ops(), &[Op::Emit(PortNo(4))]);
+        assert!(hit.cookies().is_empty());
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod switch;
 pub mod table;
 
 pub use actions::Action;
-pub use cache::{FlowCache, FlowKey};
+pub use cache::{CacheStats, FlowCache, FlowKey, FlowProgram};
 pub use datapath::{DatapathCosts, DatapathKind};
 pub use flow::{FlowMatch, Ipv4Prefix, VlanMatch};
 pub use switch::{PortKind, PortNo, SwitchStats, VirtualSwitch};

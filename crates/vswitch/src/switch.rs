@@ -1,13 +1,14 @@
 //! The virtual switch: ports, pipeline execution and the `NORMAL` action.
 
 use crate::actions::Action;
-use crate::cache::{FlowCache, FlowKey};
+use crate::cache::{FlowCache, FlowKey, FlowProgram};
 use crate::table::{FlowRule, FlowTable, TableId};
 use mts_net::{
     Frame, Ipv4Packet, MacAddr, Payload, Transport, UdpDatagram, UdpPayload, Vni, VXLAN_UDP_PORT,
 };
+use mts_sim::FastHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -67,7 +68,7 @@ pub struct SwitchStats {
 }
 
 /// A concrete, fully-resolved datapath operation (what the cache stores).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Op {
     /// Set destination MAC.
     SetDst(MacAddr),
@@ -126,17 +127,17 @@ pub struct VirtualSwitch {
     ports: BTreeMap<PortNo, PortInfo>,
     next_port: u32,
     tables: Vec<FlowTable>,
-    mac_table: HashMap<(u16, u64), PortNo>,
+    mac_table: FastHashMap<(u16, u64), PortNo>,
     cache: FlowCache,
     stats: SwitchStats,
     /// Per-cookie packet/byte statistics including fast-path hits (the
     /// megaflow push-back real OvS performs during revalidation).
-    cookie_stats: HashMap<u64, crate::table::FlowStats>,
+    cookie_stats: FastHashMap<u64, crate::table::FlowStats>,
     /// Per-cookie slow-path traversal counts — how many of a cookie's
     /// packets missed the flow cache. Billing weighs a tenant's share of
     /// vswitch CPU by hits and misses separately, since a miss costs an
     /// order of magnitude more than a hit.
-    cookie_misses: HashMap<u64, u64>,
+    cookie_misses: FastHashMap<u64, u64>,
 }
 
 /// Errors from switch configuration.
@@ -170,11 +171,11 @@ impl VirtualSwitch {
             ports: BTreeMap::new(),
             next_port: 1,
             tables: (0..NUM_TABLES).map(|_| FlowTable::new()).collect(),
-            mac_table: HashMap::new(),
+            mac_table: FastHashMap::default(),
             cache: FlowCache::new(8192),
             stats: SwitchStats::default(),
-            cookie_stats: HashMap::new(),
-            cookie_misses: HashMap::new(),
+            cookie_stats: FastHashMap::default(),
+            cookie_misses: FastHashMap::default(),
         }
     }
 
@@ -286,20 +287,22 @@ impl VirtualSwitch {
     pub fn process(&mut self, in_port: PortNo, frame: Frame) -> Vec<(PortNo, Frame)> {
         self.stats.received += 1;
         let key = FlowKey::of(in_port, &frame);
-        let (ops, cookies, missed) = match self.cache.get(&key) {
-            Some((ops, cookies)) => (ops, cookies, false),
+        let (prog, missed) = match self.cache.get(&key) {
+            Some(prog) => (prog, false),
             None => {
                 let (ops, cookies, cacheable) = self.resolve(in_port, &frame);
-                if cacheable {
-                    self.cache.insert(key, ops.clone(), cookies.clone());
-                }
-                (ops, cookies, true)
+                let prog = if cacheable {
+                    self.cache.insert(key, ops, cookies)
+                } else {
+                    FlowProgram::new(ops, cookies)
+                };
+                (prog, true)
             }
         };
         // Credit the matched rules' cookies (slow path already counted in
         // the tables; this map is the total including fast-path hits).
         let wire = u64::from(frame.wire_len());
-        for cookie in cookies {
+        for &cookie in prog.cookies() {
             let st = self.cookie_stats.entry(cookie).or_default();
             st.packets += 1;
             st.bytes += wire;
@@ -307,7 +310,7 @@ impl VirtualSwitch {
                 *self.cookie_misses.entry(cookie).or_insert(0) += 1;
             }
         }
-        self.apply(&ops, frame)
+        self.apply(prog.ops(), frame)
     }
 
     /// Total packets/bytes handled on behalf of rules with `cookie`,
@@ -386,7 +389,7 @@ impl VirtualSwitch {
                         ops.push(Op::PopVlan);
                     }
                     Action::DecTtl => {
-                        if let Payload::Ipv4(ip) = &mut frame.payload {
+                        if let Payload::Ipv4(ip) = frame.payload.make_mut() {
                             if ip.ttl <= 1 {
                                 self.stats.ttl_drops += 1;
                                 // TTL is not part of the flow key: do not cache.
@@ -488,7 +491,7 @@ impl VirtualSwitch {
                 Op::PushVlan(v) => cur = cur.with_vlan(*v),
                 Op::PopVlan => cur.vlan = None,
                 Op::DecTtl => {
-                    if let Payload::Ipv4(ip) = &mut cur.payload {
+                    if let Payload::Ipv4(ip) = cur.payload.make_mut() {
                         if ip.ttl <= 1 {
                             self.stats.ttl_drops += 1;
                             break;
@@ -577,7 +580,7 @@ fn encapsulate(
             }),
         }),
     );
-    outer.origin_ns = match &outer.payload {
+    outer.origin_ns = match outer.payload.get() {
         Payload::Ipv4(ip) => match &ip.transport {
             Transport::Udp(u) => match &u.payload {
                 UdpPayload::Vxlan { inner, .. } => inner.origin_ns,
@@ -597,7 +600,7 @@ fn encapsulate(
 /// tunnel transitions for one-way latency measurement.
 fn decapsulate(outer: Frame) -> Option<(Frame, Vni)> {
     let (origin, id) = (outer.origin_ns, outer.id);
-    match outer.payload {
+    match outer.payload.into_inner() {
         Payload::Ipv4(ip) => match ip.transport {
             Transport::Udp(u) if u.dport == VXLAN_UDP_PORT => match u.payload {
                 UdpPayload::Vxlan { vni, inner } => {
@@ -808,7 +811,7 @@ mod tests {
         )
         .unwrap();
         let mut f = frame(Ipv4Addr::new(1, 1, 1, 1));
-        if let Payload::Ipv4(ip) = &mut f.payload {
+        if let Payload::Ipv4(ip) = f.payload.make_mut() {
             ip.ttl = 1;
         }
         let out = sw.process(a, f);

@@ -37,12 +37,49 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
-        Some("bench-check") => bench_check(args.next().as_deref().unwrap_or("BENCH_MTS.json")),
+        Some("bench-check") => {
+            let mut file: Option<String> = None;
+            let mut against: Option<String> = None;
+            let mut tolerance = 0.25f64;
+            let mut bad = None;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--against" => against = args.next(),
+                    "--tolerance" => {
+                        tolerance = args
+                            .next()
+                            .and_then(|t| t.parse::<f64>().ok())
+                            .filter(|t| (0.0..1.0).contains(t))
+                            .unwrap_or_else(|| {
+                                bad = Some("--tolerance takes a fraction in [0, 1)".to_string());
+                                tolerance
+                            });
+                    }
+                    other if file.is_none() && !other.starts_with('-') => {
+                        file = Some(other.to_string());
+                    }
+                    other => bad = Some(format!("unexpected argument {other:?}")),
+                }
+            }
+            if let Some(msg) = bad {
+                eprintln!("bench-check: {msg}");
+                return ExitCode::from(2);
+            }
+            bench_check(
+                file.as_deref().unwrap_or("BENCH_MTS.json"),
+                against.as_deref(),
+                tolerance,
+            )
+        }
         other => {
             eprintln!(
-                "usage: cargo xtask <lint | bench-check [FILE]>    (got {:?})\n\n\
+                "usage: cargo xtask <lint | bench-check [FILE] [--against BASELINE] [--tolerance FRAC]>    (got {:?})\n\n\
                  lint checks: wall-clock, no-print, no-unwrap, hashmap-iter\n\
-                 bench-check validates a perf-trajectory snapshot (schema mts-bench-v1)",
+                 bench-check validates a perf-trajectory snapshot (schema mts-bench-v1);\n\
+                 with --against it also fails when any workload's events_per_sec regresses\n\
+                 by more than FRAC (default 0.25) against the baseline snapshot. The\n\
+                 regression gate only arms for release-mode snapshots: debug-mode numbers\n\
+                 measure nothing and are schema-checked only.",
                 other.unwrap_or("nothing")
             );
             ExitCode::from(2)
@@ -268,16 +305,78 @@ impl<'a> JsonParser<'a> {
     }
 }
 
+/// A validated snapshot, reduced to what the regression gate compares.
+struct Snapshot {
+    mode: String,
+    /// Workload name → events_per_sec, in file order.
+    rates: Vec<(String, f64)>,
+}
+
 /// Validates a `mts-bench-v1` perf-trajectory snapshot: schema tag, mode,
 /// per-workload field presence and types, non-negative rates, and the
 /// internal identities (Σ dispatch == events; events_per_sec and
-/// sim_mpps_per_wall_sec consistent with their inputs).
-fn bench_check(path: &str) -> ExitCode {
+/// sim_mpps_per_wall_sec consistent with their inputs). With `against`,
+/// additionally fails if any baseline workload's events_per_sec dropped by
+/// more than `tolerance` (a fraction) in the fresh snapshot — unless the
+/// fresh snapshot is a debug build, whose numbers measure nothing.
+fn bench_check(path: &str, against: Option<&str>, tolerance: f64) -> ExitCode {
+    let fresh = match validate_snapshot(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let Some(base_path) = against else {
+        return ExitCode::SUCCESS;
+    };
+    let base = match validate_snapshot(base_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    if fresh.mode == "debug" {
+        println!(
+            "bench-check: {path}: mode=debug, regression gate vs {base_path} skipped \
+             (unoptimized numbers are not comparable; schema checks only)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut errors = Vec::new();
+    for (name, base_eps) in &base.rates {
+        let floor = base_eps * (1.0 - tolerance);
+        match fresh.rates.iter().find(|(n, _)| n == name) {
+            Some((_, fresh_eps)) if *fresh_eps < floor => errors.push(format!(
+                "{name}: events_per_sec {fresh_eps:.0} fell more than {:.0}% below \
+                 baseline {base_eps:.0} (floor {floor:.0})",
+                tolerance * 100.0
+            )),
+            Some((_, fresh_eps)) => println!(
+                "bench-check: {name}: {fresh_eps:.0} events/s vs baseline {base_eps:.0} \
+                 (floor {floor:.0}): ok"
+            ),
+            None => errors.push(format!(
+                "{name}: in baseline {base_path} but missing from {path}"
+            )),
+        }
+    }
+    if errors.is_empty() {
+        println!(
+            "bench-check: {path}: no regression beyond {:.0}% vs {base_path}",
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("bench-check: {path}: {e}");
+        }
+        eprintln!("bench-check: {path}: {} regression error(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn validate_snapshot(path: &str) -> Result<Snapshot, ExitCode> {
     let text = match fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("bench-check: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     };
     let mut errors = Vec::new();
@@ -285,17 +384,20 @@ fn bench_check(path: &str) -> ExitCode {
         Ok(d) => d,
         Err(e) => {
             eprintln!("bench-check: {path}: invalid JSON: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     };
     match doc.get("schema").and_then(Json::as_str) {
         Some("mts-bench-v1") => {}
         other => errors.push(format!("schema must be \"mts-bench-v1\", got {other:?}")),
     }
-    match doc.get("mode").and_then(Json::as_str) {
-        Some("debug") | Some("release") => {}
-        other => errors.push(format!("mode must be debug|release, got {other:?}")),
-    }
+    let mode = match doc.get("mode").and_then(Json::as_str) {
+        Some(m @ ("debug" | "release")) => m.to_string(),
+        other => {
+            errors.push(format!("mode must be debug|release, got {other:?}"));
+            String::new()
+        }
+    };
     let workloads = match doc.get("workloads") {
         Some(Json::Arr(ws)) if !ws.is_empty() => ws.as_slice(),
         Some(Json::Arr(_)) => {
@@ -308,6 +410,7 @@ fn bench_check(path: &str) -> ExitCode {
         }
     };
     let mut n = 0usize;
+    let mut rates = Vec::new();
     for (i, w) in workloads.iter().enumerate() {
         n += 1;
         let name = w
@@ -337,6 +440,7 @@ fn bench_check(path: &str) -> ExitCode {
         let wall = num("wall_seconds");
         let eps = num("events_per_sec");
         let mpps = num("sim_mpps_per_wall_sec");
+        rates.push((name.clone(), eps));
         if events < 1.0 {
             errors.push(format!("{name}: a profiled run must dispatch events"));
         }
@@ -383,13 +487,13 @@ fn bench_check(path: &str) -> ExitCode {
     }
     if errors.is_empty() {
         println!("bench-check: {path}: {n} workload(s) valid (schema mts-bench-v1)");
-        ExitCode::SUCCESS
+        Ok(Snapshot { mode, rates })
     } else {
         for e in &errors {
             eprintln!("bench-check: {path}: {e}");
         }
         eprintln!("bench-check: {path}: {} error(s)", errors.len());
-        ExitCode::FAILURE
+        Err(ExitCode::FAILURE)
     }
 }
 
