@@ -16,9 +16,14 @@
 //! verifier (`mts-isocheck`, see `VERIFICATION.md`) over every shipped
 //! compartmentalized configuration, then seeds three canonical
 //! misconfigurations and demands each is detected with a concrete
-//! counterexample witness. Exits nonzero on any failure. The same analysis
-//! also runs automatically as a pre-flight check before every simulated
-//! scenario.
+//! counterexample witness. It then exercises the *incremental* verifier:
+//! crash-shaped configuration churn across the shipped matrix must stay
+//! byte-identical to the from-scratch analysis after every delta, the
+//! three misconfigurations re-seeded through the delta path must be
+//! detected incrementally, and `diff_levels()` must show every hardened
+//! configuration free of reachability regressions against its Baseline.
+//! Exits nonzero on any failure. The same analysis also runs
+//! automatically as a pre-flight check before every simulated scenario.
 //!
 //! The `trace` target (implied when `--trace-out`/`--metrics-out` is given
 //! without an explicit target) runs a Level-2 v2v scenario with telemetry
@@ -43,16 +48,22 @@
 //! experiment (billed vs ground-truth cycles), and the cycle-conservation
 //! audit (`billed + unattributed == measured`, exact, at every level). It
 //! self-checks every headline claim and exits nonzero on violation. It
-//! also runs the simulator self-profiler and writes the perf-trajectory
-//! snapshot (`--bench-out`, default `OUT/BENCH_MTS.json`; schema
-//! `mts-bench-v1`, validated by `cargo xtask bench-check`). Wall-clock
-//! timing appears only in that snapshot — every table and CSV is
-//! simulated-time-only and byte-deterministic for a given seed.
+//! also runs the simulator self-profiler plus the verification-throughput
+//! workload (`verify-churn-l2-4`: fault-recovery delta streams replayed
+//! through the incremental checker vs full re-verification per delta —
+//! byte-identical, and non-quick runs fail below a 10x speedup), and
+//! writes the perf-trajectory snapshot (`--bench-out`, default
+//! `OUT/BENCH_MTS.json`; schema `mts-bench-v1`, validated by `cargo xtask
+//! bench-check`). Wall-clock timing appears only in that snapshot — every
+//! table and CSV is simulated-time-only and byte-deterministic for a
+//! given seed.
 
 use mts_bench::figures::{
     fig5_panel, fig6_panel, isolation_matrix, pktsize_sweep, render_fig6, vf_count_table,
     Fig5Panel, Fig6Panel, ReproOpts,
 };
+use mts_core::controller::Deployment;
+use mts_core::delta::ConfigDelta;
 use mts_core::perfiso::{self, NoisyOpts};
 use mts_core::runtime::{start_udp_generator, RuntimeCfg, Sim, World};
 use mts_core::spec::{DeploymentSpec, Scenario, SecurityLevel};
@@ -61,6 +72,7 @@ use mts_core::workloads::Workload;
 use mts_core::{billing, overlay, Controller};
 use mts_host::ResourceMode;
 use mts_net::MacAddr;
+use mts_nic::{FilterAction, FilterRule, PfId, PortClass, VfConfig};
 use mts_sim::Time;
 use mts_telemetry::{MediationAuditor, Telemetry};
 use mts_vswitch::DatapathKind;
@@ -423,6 +435,32 @@ fn run_slo(quick: bool, out: &PathBuf, bench_out: Option<&Path>) {
         );
         workloads.push(w);
     }
+    match verify_churn_workload(quick) {
+        Ok(w) => {
+            println!(
+                "profile {:<18} events {:>9}  frames {:>8}  {:>12.0} events/s  \
+                 {:>6.1}x vs full re-verify",
+                w.name,
+                w.events,
+                w.frames,
+                w.events_per_sec(),
+                w.speedup_vs_full.unwrap_or(0.0)
+            );
+            if !quick && w.speedup_vs_full.unwrap_or(0.0) < 10.0 {
+                eprintln!(
+                    "repro: slo: incremental verification speedup {:.1}x is below \
+                     the 10x floor",
+                    w.speedup_vs_full.unwrap_or(0.0)
+                );
+                std::process::exit(1);
+            }
+            workloads.push(w);
+        }
+        Err(e) => {
+            eprintln!("repro: slo: verify-churn workload: {e}");
+            std::process::exit(1);
+        }
+    }
     let json = slo::render_bench_json(&workloads);
     let default_path = out.join("BENCH_MTS.json");
     let path = bench_out.unwrap_or(&default_path);
@@ -434,6 +472,65 @@ fn run_slo(quick: bool, out: &PathBuf, bench_out: Option<&Path>) {
         std::process::exit(1);
     }
     eprintln!("  wrote {}", path.display());
+}
+
+/// The verification-throughput workload (`verify-churn-l2-4`): replays a
+/// fault-driven configuration-delta stream both through the incremental
+/// checker (cone recomputation per delta) and through per-delta full
+/// re-verification, times both loops, and cross-checks that the two final
+/// verdicts render byte-identically. The speedup is recorded in
+/// `BENCH_MTS.json` and gated at 10x on full (non-`--quick`) runs.
+fn verify_churn_workload(quick: bool) -> Result<mts_bench::slo::BenchWorkload, String> {
+    use mts_bench::slo;
+    let prep = slo::prepare_verify_churn(quick).map_err(|e| e.to_string())?;
+    if prep.deltas.is_empty() {
+        return Err("fault runs produced no configuration deltas".to_string());
+    }
+    let mut inc =
+        mts_isocheck::IncrementalChecker::of_world(&prep.world).map_err(|e| e.to_string())?;
+    let t0 = std::time::Instant::now();
+    for d in &prep.deltas {
+        inc.apply(d);
+    }
+    let inc_report = format!("{}", inc.report().map_err(|e| e.to_string())?);
+    let inc_wall = t0.elapsed().as_secs_f64();
+
+    let mut full =
+        mts_isocheck::IncrementalChecker::of_world(&prep.world).map_err(|e| e.to_string())?;
+    let t1 = std::time::Instant::now();
+    for d in &prep.deltas {
+        full.apply_full(d).map_err(|e| e.to_string())?;
+    }
+    let full_report = format!("{}", full.report().map_err(|e| e.to_string())?);
+    let full_wall = t1.elapsed().as_secs_f64();
+    if inc_report != full_report {
+        return Err("incremental verdict diverged from per-delta full re-verification".to_string());
+    }
+    let stats = inc.stats();
+    println!(
+        "verify-churn: {} deltas; {} sources recomputed, {} skipped, {} atom \
+         rebuilds; incremental {:.4}s vs full {:.4}s",
+        stats.deltas_applied,
+        stats.sources_recomputed,
+        stats.sources_skipped,
+        stats.full_rebuilds,
+        inc_wall,
+        full_wall
+    );
+    let n = prep.deltas.len() as u64;
+    Ok(slo::BenchWorkload {
+        name: "verify-churn-l2-4".to_string(),
+        events: n,
+        frames: 0,
+        sim_seconds: prep.sim_seconds,
+        wall_seconds: inc_wall,
+        dispatch: vec![("delta.apply".to_string(), n)],
+        speedup_vs_full: Some(if inc_wall > 0.0 {
+            full_wall / inc_wall
+        } else {
+            0.0
+        }),
+    })
 }
 
 /// The static verification suite: every shipped compartmentalized
@@ -491,16 +588,298 @@ fn run_verify() {
             }
         }
     }
+    println!("== delta equivalence: incremental vs from-scratch verifier ==");
+    let mut churn_deltas = 0usize;
+    for churn_spec in mts_isocheck::shipped_matrix() {
+        match churn_one(churn_spec) {
+            Ok(n) => {
+                println!(
+                    "  {}: {n} deltas, byte-identical throughout",
+                    churn_spec.label()
+                );
+                churn_deltas += n;
+            }
+            Err(e) => {
+                eprintln!(
+                    "repro: verify: delta equivalence on {}: {e}",
+                    churn_spec.label()
+                );
+                failed = true;
+            }
+        }
+    }
+    for mc in mts_isocheck::Misconfig::ALL {
+        match misconfig_delta_control(mc, spec) {
+            Ok(()) => println!(
+                "  {} via delta: detected incrementally, byte-identical",
+                mc.label()
+            ),
+            Err(e) => {
+                eprintln!("repro: verify: delta control '{}': {e}", mc.label());
+                failed = true;
+            }
+        }
+    }
+    println!("== cross-level differential reachability (Baseline vs hardened) ==");
+    let diffed = match run_level_diffs() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("repro: verify: level diff: {e}");
+            failed = true;
+            0
+        }
+    };
     if failed {
         eprintln!("repro: static verification FAILED");
         std::process::exit(1);
     }
     println!(
         "verify: {} shipped configurations clean; {detected}/{} seeded \
-         misconfigurations detected with witnesses",
+         misconfigurations detected with witnesses; {churn_deltas} churn \
+         deltas byte-identical incrementally; {diffed} level diffs free of \
+         regressions",
         reports.len(),
         mts_isocheck::Misconfig::ALL.len()
     );
+}
+
+/// Byte-identity oracle: the incremental checker's rendered report must be
+/// exactly what the from-scratch verifier produces on the deployment's
+/// current state.
+fn check_equiv(
+    checker: &mut mts_isocheck::IncrementalChecker,
+    d: &Deployment,
+    what: &str,
+) -> Result<(), String> {
+    let full = mts_isocheck::verify(d).map_err(|e| e.to_string())?;
+    let inc = checker.report().map_err(|e| e.to_string())?;
+    if format!("{inc}") != format!("{full}") {
+        return Err(format!("incremental verdict diverged after {what}"));
+    }
+    Ok(())
+}
+
+/// Applies one delta to the checker and demands byte-identity against the
+/// already-mutated deployment.
+fn apply_and_check(
+    checker: &mut mts_isocheck::IncrementalChecker,
+    d: &Deployment,
+    delta: &ConfigDelta,
+) -> Result<(), String> {
+    checker.apply(delta);
+    check_equiv(checker, d, &format!("{delta}"))
+}
+
+/// Drives a scripted configuration churn against one shipped deployment —
+/// pipeline wipe, rule-by-rule reinstall, static-MAC removal and
+/// reinstall, VEB flush, filter-list replacement, liveness flaps — applying
+/// each mutation both to the live state and (as its [`ConfigDelta`]) to an
+/// incremental checker, with a byte-identity check after every delta.
+/// Returns the number of deltas applied.
+fn churn_one(spec: DeploymentSpec) -> Result<usize, String> {
+    let mut d = Controller::deploy(spec).map_err(|e| e.to_string())?;
+    let mut checker =
+        mts_isocheck::IncrementalChecker::of_deployment(&d).map_err(|e| e.to_string())?;
+    check_equiv(&mut checker, &d, "construction")?;
+    let mut applied = 0usize;
+
+    // Crash-shaped churn: wipe vswitch 0's pipeline, then reinstall the
+    // dumped rules one by one, as supervisor recovery + reconciliation do.
+    let dump = d.vswitches[0].sw.dump_rules();
+    d.vswitches[0].sw.clear();
+    apply_and_check(&mut checker, &d, &ConfigDelta::RulesWiped { vswitch: 0 })?;
+    applied += 1;
+    for (table, rule) in dump {
+        d.vswitches[0]
+            .sw
+            .install(table, rule.clone())
+            .map_err(|e| format!("{e:?}"))?;
+        apply_and_check(
+            &mut checker,
+            &d,
+            &ConfigDelta::RuleInstalled {
+                vswitch: 0,
+                table,
+                rule,
+            },
+        )?;
+        applied += 1;
+    }
+
+    // Static-MAC churn on PF 0.
+    let statics = d.nic.pf(PfId(0)).map_err(|e| e.to_string())?.static_macs();
+    if let Some((vlan, mac, port)) = statics.first().cloned() {
+        d.nic
+            .pf_mut(PfId(0))
+            .map_err(|e| e.to_string())?
+            .remove_static_mac(vlan, mac);
+        apply_and_check(
+            &mut checker,
+            &d,
+            &ConfigDelta::StaticRemoved { pf: 0, vlan, mac },
+        )?;
+        applied += 1;
+        d.nic
+            .pf_mut(PfId(0))
+            .map_err(|e| e.to_string())?
+            .install_static_mac(vlan, mac, port);
+        apply_and_check(
+            &mut checker,
+            &d,
+            &ConfigDelta::StaticInstalled {
+                pf: 0,
+                vlan,
+                mac,
+                port,
+            },
+        )?;
+        applied += 1;
+    }
+
+    // VEB flush: learned state dropped, statics rebuilt from VF configs.
+    d.nic
+        .pf_mut(PfId(0))
+        .map_err(|e| e.to_string())?
+        .flush_table();
+    apply_and_check(&mut checker, &d, &ConfigDelta::VebFlushed { pf: 0 })?;
+    applied += 1;
+
+    // Filter-list replacement (same list — exercises the wholesale-set
+    // path and the dead-filter warning bookkeeping).
+    let filters = d
+        .nic
+        .pf(PfId(0))
+        .map_err(|e| e.to_string())?
+        .filters()
+        .to_vec();
+    d.nic
+        .pf_mut(PfId(0))
+        .map_err(|e| e.to_string())?
+        .set_filters(filters.clone());
+    apply_and_check(
+        &mut checker,
+        &d,
+        &ConfigDelta::FiltersSet { pf: 0, filters },
+    )?;
+    applied += 1;
+
+    // Liveness flaps carry no configuration and must not move the verdict.
+    apply_and_check(&mut checker, &d, &ConfigDelta::VswitchDown { vswitch: 0 })?;
+    apply_and_check(&mut checker, &d, &ConfigDelta::VswitchUp { vswitch: 0 })?;
+    applied += 2;
+    Ok(applied)
+}
+
+/// Seeds one canonical misconfiguration through the *delta* path: the same
+/// NIC mutation [`mts_isocheck::Misconfig::seed`] performs is expressed as
+/// the [`ConfigDelta`] it would emit, applied to an incremental checker,
+/// and the incremental verdict must both match the full verifier
+/// byte-for-byte and contain the misconfiguration's characteristic
+/// detection.
+fn misconfig_delta_control(
+    mc: mts_isocheck::Misconfig,
+    spec: DeploymentSpec,
+) -> Result<(), String> {
+    let mut d = Controller::deploy(spec).map_err(|e| e.to_string())?;
+    let mut checker =
+        mts_isocheck::IncrementalChecker::of_deployment(&d).map_err(|e| e.to_string())?;
+    let vf_cfg = |d: &Deployment, r: mts_core::vfplan::VfRef| -> Result<VfConfig, String> {
+        d.nic
+            .pf(r.pf)
+            .map_err(|e| e.to_string())?
+            .vf(r.vf)
+            .cloned()
+            .ok_or_else(|| format!("no VF {}/{}", r.pf.0, r.vf.0))
+    };
+    let delta = match mc {
+        mts_isocheck::Misconfig::VlanReuse => {
+            let t0_vlan = d.plan.tenants[0].vlan;
+            let r = d.plan.tenants[1].vf[0].0;
+            let cfg = vf_cfg(&d, r)?;
+            ConfigDelta::VfConfigured {
+                pf: r.pf.0,
+                vf: r.vf.0,
+                cfg: VfConfig {
+                    vlan: Some(t0_vlan),
+                    ..cfg
+                },
+            }
+        }
+        mts_isocheck::Misconfig::SpoofCheckOff => {
+            let r = d.plan.tenants[0].vf[0].0;
+            let cfg = vf_cfg(&d, r)?;
+            ConfigDelta::VfConfigured {
+                pf: r.pf.0,
+                vf: r.vf.0,
+                cfg: VfConfig {
+                    spoof_check: false,
+                    ..cfg
+                },
+            }
+        }
+        mts_isocheck::Misconfig::BroadVebAllow => {
+            let r = d.plan.tenants[0].vf[0].0;
+            let mut filters = d
+                .nic
+                .pf(r.pf)
+                .map_err(|e| e.to_string())?
+                .filters()
+                .to_vec();
+            filters.push(FilterRule {
+                priority: 60,
+                from: PortClass::Vf(r.vf),
+                src_mac: None,
+                dst_mac: None,
+                vlan: None,
+                ethertype: None,
+                action: FilterAction::Allow,
+            });
+            ConfigDelta::FiltersSet {
+                pf: r.pf.0,
+                filters,
+            }
+        }
+    };
+    mc.seed(&mut d).map_err(|e| e.to_string())?;
+    apply_and_check(&mut checker, &d, &delta)?;
+    let inc_report = checker.report().map_err(|e| e.to_string())?;
+    if !mc.detected_in(&inc_report) {
+        return Err(format!(
+            "incremental verdict missed seeded '{}'",
+            mc.label()
+        ));
+    }
+    Ok(())
+}
+
+/// Cross-level differential reachability: every shipped hardened
+/// configuration against the Baseline of the same datapath, resource mode
+/// and scenario. Hardening must only remove, mediate, or structurally
+/// relocate paths — any `REGRESSION-LOST` / `REGRESSION-GAINED` verdict
+/// fails the run. Returns the number of level pairs diffed.
+fn run_level_diffs() -> Result<usize, String> {
+    let mut pairs = 0usize;
+    for spec in mts_isocheck::shipped_matrix() {
+        let base_spec = DeploymentSpec::mts(
+            SecurityLevel::Baseline,
+            spec.datapath,
+            spec.resource_mode,
+            spec.scenario,
+        );
+        let base = Controller::deploy(base_spec).map_err(|e| e.to_string())?;
+        let hard = Controller::deploy(spec).map_err(|e| e.to_string())?;
+        let diff = mts_isocheck::diff_levels(&base, &hard).map_err(|e| e.to_string())?;
+        println!("{diff}");
+        if !diff.is_clean() {
+            return Err(format!(
+                "regression diffing {} against {}",
+                base_spec.label(),
+                spec.label()
+            ));
+        }
+        pairs += 1;
+    }
+    Ok(pairs)
 }
 
 fn main() {

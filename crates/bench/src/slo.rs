@@ -617,6 +617,77 @@ pub fn run_profile_case(case: ProfileCase, quick: bool) -> Result<ProfileStats, 
     })
 }
 
+/// A prepared verification-throughput workload: the pristine pre-fault
+/// world an incremental checker seeds from, plus a fault-driven
+/// configuration-delta stream to replay against it. The `repro` binary
+/// times the incremental and full re-verification loops around this data
+/// (wall clock lives only in the binary; see the `xtask lint` ban).
+pub struct VerifyChurnPrep {
+    /// A world in the pristine pre-fault configuration (deployment,
+    /// runtime config and seed identical to the runs that produced the
+    /// stream — fault runs emit no deltas before the first event).
+    pub world: World,
+    /// The concatenated, sequence-ordered delta streams.
+    pub deltas: Vec<mts_core::delta::ConfigDelta>,
+    /// Total simulated horizon of the runs that generated the stream.
+    pub sim_seconds: f64,
+}
+
+/// Builds the `verify-churn-l2-4` workload: a Level-2 (4 compartments)
+/// p2v deployment run under a battery of fault scenarios — crash loop,
+/// flow-table wipe, random rule loss, VEB flush — each with supervisor
+/// recovery and periodic reconciliation, and every configuration mutation
+/// recorded in the world's delta log. Each scenario ends fully recovered
+/// (reconciliation restores the desired configuration), so the drained
+/// streams concatenate into one long churn sequence over the same
+/// deployment.
+pub fn prepare_verify_churn(quick: bool) -> Result<VerifyChurnPrep, DeployError> {
+    use mts_faults::{FaultCase, FaultOpts};
+    let spec = DeploymentSpec::mts(
+        SecurityLevel::Level2 { compartments: 4 },
+        DatapathKind::Kernel,
+        ResourceMode::Isolated,
+        Scenario::P2v,
+    );
+    let opts = if quick {
+        FaultOpts {
+            rate_pps: 50_000.0,
+            run_for: Dur::millis(15),
+            fault_at: Time::from_nanos(5_000_000),
+            drain: Dur::millis(12),
+            ..FaultOpts::default()
+        }
+    } else {
+        FaultOpts {
+            rate_pps: 50_000.0,
+            ..FaultOpts::default()
+        }
+    };
+    let cases = [
+        FaultCase::CrashLoop,
+        FaultCase::WipeFlows,
+        FaultCase::LoseRules,
+        FaultCase::FlushVeb,
+        FaultCase::Crash,
+    ];
+    let mut deltas = Vec::new();
+    let mut sim_seconds = 0.0;
+    for case in cases {
+        let mut w = mts_faults::run_traced(spec, case, opts)?;
+        deltas.extend(w.deltas.drain().into_iter().map(|(_, d)| d));
+        sim_seconds += (opts.run_for + opts.drain).as_secs_f64();
+    }
+    let d = Controller::deploy(spec)?;
+    let mut cfg = RuntimeCfg::for_spec(&spec);
+    cfg.offered_pps = opts.rate_pps;
+    let world = World::new(d, cfg, opts.seed);
+    Ok(VerifyChurnPrep {
+        world,
+        deltas,
+        sim_seconds,
+    })
+}
+
 /// One workload's entry in the perf-trajectory snapshot: the simulated
 /// stats plus the wall-clock seconds the caller measured around the run.
 #[derive(Clone, Debug)]
@@ -633,6 +704,10 @@ pub struct BenchWorkload {
     pub wall_seconds: f64,
     /// Per-event-type dispatch counts.
     pub dispatch: Vec<(String, u64)>,
+    /// For comparative workloads (the `verify-churn` family): how many
+    /// times faster this run was than the non-incremental alternative
+    /// over the same input. `None` for plain profiler workloads.
+    pub speedup_vs_full: Option<f64>,
 }
 
 impl BenchWorkload {
@@ -668,6 +743,7 @@ pub fn bench_workload(stats: &ProfileStats, wall_seconds: f64) -> BenchWorkload 
             .iter()
             .map(|(k, v)| (k.to_string(), *v))
             .collect(),
+        speedup_vs_full: None,
     }
 }
 
@@ -714,6 +790,9 @@ pub fn render_bench_json(workloads: &[BenchWorkload]) -> String {
             "      \"sim_mpps_per_wall_sec\": {},\n",
             json_f64(w.sim_mpps_per_wall_sec())
         ));
+        if let Some(s) = w.speedup_vs_full {
+            out.push_str(&format!("      \"speedup_vs_full\": {},\n", json_f64(s)));
+        }
         out.push_str("      \"dispatch\": {");
         for (j, (k, v)) in w.dispatch.iter().enumerate() {
             if j > 0 {

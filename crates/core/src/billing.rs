@@ -148,6 +148,7 @@ fn largest_remainder_split(total_ns: u64, weights: &[u128]) -> Vec<u64> {
     let mut assigned: u64 = 0;
     for (i, w) in weights.iter().enumerate() {
         let num = u128::from(total_ns) * w;
+        // lint:allow(lossy-cast): w <= sum, so the quotient is bounded by total_ns, which is u64
         let share = (num / sum) as u64;
         shares.push(share);
         assigned += share;
@@ -188,6 +189,7 @@ pub fn bill(w: &World) -> BillingReport {
     let mut io: Vec<(u64, u64, u64)> = vec![(0, 0, 0); n];
     for vs in &w.vswitches {
         for (t, slot) in io.iter_mut().enumerate() {
+            // lint:allow(lossy-cast): tenant index widened usize -> u64; cannot truncate on supported targets
             let cookie = t as u64 + 1;
             let (p, b) = vs.inst.sw.stats_by_cookie(cookie);
             slot.0 += p;
@@ -204,6 +206,7 @@ pub fn bill(w: &World) -> BillingReport {
         match w.meters.vswitch_attribution(i) {
             Attribution::Unattributed => unattributed += busy,
             Attribution::Exact => {
+                // lint:allow(lossy-cast): vswitch index mirrors the spec's u8 compartment id
                 let members = w.spec.tenants_of_compartment(i as u8);
                 if let Some(t) = members.first() {
                     cpu[*t as usize].0 += busy.as_nanos();
@@ -216,6 +219,7 @@ pub fn bill(w: &World) -> BillingReport {
                 // Weight each member by the vswitch-local observable work
                 // its rules accounted: hits at the cache-hit cost, misses
                 // at the extra slow-path cost, bytes at the per-byte cost.
+                // lint:allow(lossy-cast): vswitch index mirrors the spec's u8 compartment id
                 let members = w.spec.tenants_of_compartment(i as u8);
                 let hit_ps = u128::from(vs.costs.cache_hit.as_nanos()) * 1000;
                 let miss_ps = u128::from(
@@ -246,6 +250,7 @@ pub fn bill(w: &World) -> BillingReport {
     let mut ram = vec![0.0f64; n];
     if w.spec.level.compartmentalized() {
         for i in 0..w.vswitches.len() {
+            // lint:allow(lossy-cast): vswitch index mirrors the spec's u8 compartment id
             let members = w.spec.tenants_of_compartment(i as u8);
             for t in &members {
                 ram[*t as usize] = 4.0 / members.len() as f64;
@@ -255,6 +260,7 @@ pub fn bill(w: &World) -> BillingReport {
 
     for (t, slot) in io.iter().enumerate() {
         tenants.push(TenantBill {
+            // lint:allow(lossy-cast): tenant ids are u8 throughout the spec; the io vec is spec-sized
             tenant: t as u8,
             packets: slot.0,
             bytes: slot.1,

@@ -40,6 +40,7 @@
 pub mod attacks;
 pub mod billing;
 pub mod controller;
+pub mod delta;
 pub mod meters;
 pub mod overlay;
 pub mod perfiso;
@@ -57,6 +58,7 @@ pub mod workloads;
 pub use attacks::{Attack, AttackOutcome, IsolationReport};
 pub use billing::{bill, billing_accuracy, BillingAccuracy, BillingReport, TenantBill};
 pub use controller::Controller;
+pub use delta::{ConfigDelta, DeltaLog};
 pub use meters::{Attribution, CycleMeters, Layer};
 pub use overlay::OverlayConfig;
 pub use perfiso::{noisy_matrix, noisy_neighbor, NoisyNeighborResult, NoisyOpts, SloCell};

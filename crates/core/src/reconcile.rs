@@ -15,6 +15,7 @@
 //!
 //! [`FlowStats`]: mts_vswitch::FlowStats
 
+use crate::delta::ConfigDelta;
 use crate::runtime::World;
 use mts_net::MacAddr;
 use mts_nic::{FilterRule, NicPort, PfId, VfConfig, VfId};
@@ -138,17 +139,26 @@ pub fn reconcile(w: &mut World) -> ReconcileReport {
     let Some(desired) = w.desired.clone() else {
         return report;
     };
+    // Deltas are collected locally (the NIC borrow is held across the
+    // loop) and emitted, in mutation order, once the pass is done.
+    let mut emitted: Vec<ConfigDelta> = Vec::new();
 
     // NIC state, per PF.
     for (p, want_statics) in desired.statics.iter().enumerate() {
         let Ok(sw) = w.nic.pf_mut(PfId(p as u8)) else {
             continue;
         };
+        let pf = p as u8;
         // VF configurations first: their static entries come with them.
         if let Some(want_vfs) = desired.vfs.get(p) {
             for (id, cfg) in want_vfs {
                 if sw.vf(*id) != Some(cfg) {
                     sw.configure_vf(*id, cfg.clone());
+                    emitted.push(ConfigDelta::VfConfigured {
+                        pf,
+                        vf: id.0,
+                        cfg: cfg.clone(),
+                    });
                     report.vfs_reconfigured += 1;
                 }
             }
@@ -157,18 +167,33 @@ pub fn reconcile(w: &mut World) -> ReconcileReport {
         for entry in want_statics {
             if !have.contains(entry) {
                 sw.install_static_mac(entry.0, entry.1, entry.2);
+                emitted.push(ConfigDelta::StaticInstalled {
+                    pf,
+                    vlan: entry.0,
+                    mac: entry.1,
+                    port: entry.2,
+                });
                 report.statics_installed += 1;
             }
         }
         for entry in &have {
             if !want_statics.contains(entry) {
                 sw.remove_static_mac(entry.0, entry.1);
+                emitted.push(ConfigDelta::StaticRemoved {
+                    pf,
+                    vlan: entry.0,
+                    mac: entry.1,
+                });
                 report.statics_removed += 1;
             }
         }
         if let Some(want_filters) = desired.filters.get(p) {
             if sw.filters() != want_filters.as_slice() {
                 sw.set_filters(want_filters.clone());
+                emitted.push(ConfigDelta::FiltersSet {
+                    pf,
+                    filters: want_filters.clone(),
+                });
                 report.filter_sets_replaced += 1;
             }
         }
@@ -201,9 +226,15 @@ pub fn reconcile(w: &mut World) -> ReconcileReport {
         let extra = unmatched.len() as u64;
         if missing > 0 || extra > 0 {
             vs.inst.sw.clear();
+            emitted.push(ConfigDelta::RulesWiped { vswitch: i });
             for (t, r) in want {
                 let mut rule = r.clone();
                 rule.stats = Default::default();
+                emitted.push(ConfigDelta::RuleInstalled {
+                    vswitch: i,
+                    table: *t,
+                    rule: rule.clone(),
+                });
                 let _ = vs.inst.sw.install(*t, rule);
             }
             report.rules_installed += missing;
@@ -213,6 +244,9 @@ pub fn reconcile(w: &mut World) -> ReconcileReport {
         vs.rules_dirty = false;
     }
 
+    for d in emitted {
+        w.emit_delta(d);
+    }
     if report.churn() > 0 {
         if let Some(rec) = w.telemetry.rec() {
             rec.metrics

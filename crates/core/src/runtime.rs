@@ -302,6 +302,10 @@ pub struct World {
     pub capture: Option<mts_net::pcap::PcapWriter>,
     /// Telemetry sink (disabled by default; see `mts-telemetry`).
     pub telemetry: Telemetry,
+    /// Configuration-delta stream for incremental verification: every
+    /// config-mutating path ([`crate::reconcile`], supervisor restarts,
+    /// fault injection) records what it changed (see [`crate::delta`]).
+    pub deltas: crate::delta::DeltaLog,
     /// Per-tenant cycle-attribution meters (the `mts-slo` substrate).
     pub meters: CycleMeters,
 }
@@ -681,12 +685,25 @@ impl World {
             max_dma_wait: Dur::ZERO,
             capture: None,
             telemetry: Telemetry::disabled(),
+            deltas: crate::delta::DeltaLog::default(),
             meters: CycleMeters::new(spec.tenants as usize, vswitch_attr),
         };
         // The controller remembers what it programmed: the reconciliation
         // target after any fault (see `crate::reconcile`).
         w.desired = Some(crate::reconcile::DesiredConfig::capture(&w));
         w
+    }
+
+    /// Records a configuration delta (and its telemetry mirror). Every
+    /// config-mutating runtime path must call this for each mutation it
+    /// performs — the incremental verifier's equivalence against the full
+    /// checker machine-checks that completeness.
+    pub fn emit_delta(&mut self, d: crate::delta::ConfigDelta) {
+        if let Some(rec) = self.telemetry.rec() {
+            rec.metrics
+                .counter_inc("mts_config_deltas_total", &[("kind", d.kind())]);
+        }
+        self.deltas.push(d);
     }
 
     /// Increments a drop counter (and its telemetry mirror).

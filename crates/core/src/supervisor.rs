@@ -320,6 +320,8 @@ fn tick(w: &mut World, e: &mut Sim) {
             vs.inst.sw.clear();
             vs.rules_dirty = true;
         }
+        w.emit_delta(crate::delta::ConfigDelta::RulesWiped { vswitch: i });
+        w.emit_delta(crate::delta::ConfigDelta::VswitchUp { vswitch: i });
         let _ = reconcile::reconcile(w);
         let down_seen = st.down_seen.unwrap_or(now);
         sup.log.push(RecoveryEvent {

@@ -22,6 +22,7 @@ use mts_core::runtime::{start_udp_generator, RuntimeCfg, Sim, World};
 use mts_core::spec::{DeploymentSpec, Scenario, SecurityLevel};
 use mts_core::supervisor::{start_supervisor, RecoveryKind, SupervisorCfg};
 use mts_host::ResourceMode;
+use mts_isocheck::IncrementalChecker;
 use mts_net::MacAddr;
 use mts_sim::{Dur, Time};
 use mts_vswitch::DatapathKind;
@@ -294,7 +295,7 @@ pub fn run_cell(
     opts: FaultOpts,
 ) -> Result<BlastCell, DeployError> {
     let clean = run_once(spec, &FaultPlan::new(), opts)?;
-    let w = run_once(spec, &case.plan(opts.fault_at), opts)?;
+    let mut w = run_once(spec, &case.plan(opts.fault_at), opts)?;
 
     let offered = w.sink.sent_by_flow.clone();
     let delivered = w.sink.per_flow.clone();
@@ -348,9 +349,7 @@ pub fn run_cell(
     };
 
     let isocheck_violations = if spec.level.compartmentalized() {
-        mts_isocheck::verify_world(&w)
-            .ok()
-            .map(|r| r.violations.len())
+        incremental_reverify(spec, opts, &mut w)
     } else {
         None
     };
@@ -371,6 +370,38 @@ pub fn run_cell(
         drop_sum_ok,
         isocheck_violations,
     })
+}
+
+/// Post-recovery verification of the faulted world, done *incrementally*:
+/// an [`IncrementalChecker`] is seeded from a pristine world of the same
+/// spec + seed (identical to the pre-fault state, which emits no deltas),
+/// then the faulted run's config-delta log — vswitch crashes, VEB flushes,
+/// rule wipes, and every supervisor/reconciler reinstall — is replayed in
+/// sequence order, so only the cones touched by each recovery are
+/// re-verified. The full from-scratch [`mts_isocheck::verify_world`] runs
+/// as the oracle: any divergence from the incremental verdict is a
+/// soundness bug in the delta application and panics loudly rather than
+/// silently skewing the panel CSV.
+fn incremental_reverify(spec: DeploymentSpec, opts: FaultOpts, w: &mut World) -> Option<usize> {
+    let d = Controller::deploy(spec).ok()?;
+    let mut cfg = RuntimeCfg::for_spec(&spec);
+    cfg.offered_pps = opts.rate_pps;
+    let w0 = World::new(d, cfg, opts.seed);
+    let mut checker = IncrementalChecker::of_world(&w0).ok()?;
+    for (_seq, delta) in w.deltas.drain() {
+        checker.apply(&delta);
+    }
+    let incremental = checker.report().ok()?;
+    let full = mts_isocheck::verify_world(w).ok()?;
+    assert_eq!(
+        format!("{incremental}"),
+        format!("{full}"),
+        "incremental re-verification diverged from the full oracle \
+         ({} deltas applied, stats {:?})",
+        checker.stats().deltas_applied,
+        checker.stats(),
+    );
+    Some(incremental.violations.len())
 }
 
 /// The configuration axis of the panel: Baseline, Level-1 and Level-2

@@ -10,6 +10,7 @@
 //! byte-identical to a run with no fault machinery at all.
 
 use crate::plan::{FaultKind, FaultPlan};
+use mts_core::delta::ConfigDelta;
 use mts_core::runtime::{Sim, VswitchHealth, World};
 use mts_nic::PfId;
 
@@ -43,6 +44,8 @@ pub fn inject(w: &mut World, e: &mut Sim, kind: FaultKind) {
             vs.inst.sw.clear();
             vs.rules_dirty = true;
             w.crashloop[vswitch] = crashloop;
+            w.emit_delta(ConfigDelta::VswitchDown { vswitch });
+            w.emit_delta(ConfigDelta::RulesWiped { vswitch });
         }
         FaultKind::HangVswitch {
             vswitch,
@@ -87,6 +90,7 @@ pub fn inject(w: &mut World, e: &mut Sim, kind: FaultKind) {
         FaultKind::FlushVeb { pf } => {
             if let Ok(sw) = w.nic.pf_mut(PfId(pf)) {
                 sw.flush_table();
+                w.emit_delta(ConfigDelta::VebFlushed { pf });
             }
         }
         FaultKind::WipeFlows { vswitch } => {
@@ -95,6 +99,7 @@ pub fn inject(w: &mut World, e: &mut Sim, kind: FaultKind) {
             };
             vs.inst.sw.clear();
             vs.rules_dirty = true;
+            w.emit_delta(ConfigDelta::RulesWiped { vswitch });
         }
         FaultKind::LoseRules { vswitch, fraction } => {
             if w.vswitches.get(vswitch).is_none() {
@@ -109,10 +114,18 @@ pub fn inject(w: &mut World, e: &mut Sim, kind: FaultKind) {
             let before = vs.inst.sw.rule_count();
             if survivors.len() < before {
                 vs.inst.sw.clear();
-                for (t, r) in survivors {
-                    let _ = vs.inst.sw.install(t, r);
+                for (t, r) in &survivors {
+                    let _ = vs.inst.sw.install(*t, r.clone());
                 }
                 vs.rules_dirty = true;
+                w.emit_delta(ConfigDelta::RulesWiped { vswitch });
+                for (t, r) in survivors {
+                    w.emit_delta(ConfigDelta::RuleInstalled {
+                        vswitch,
+                        table: t,
+                        rule: r,
+                    });
+                }
             }
         }
         FaultKind::LinkFlap { pf, down_for } => {

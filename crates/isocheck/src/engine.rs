@@ -81,9 +81,10 @@ impl Source {
     }
 }
 
-type Reach = BTreeMap<(Loc, bool), HeaderSet>;
+/// Per-location reach sets, keyed by `(location, mediated)`.
+pub(crate) type Reach = BTreeMap<(Loc, bool), HeaderSet>;
 
-fn seeds(m: &Model, source: Source) -> Vec<(Loc, HeaderSet)> {
+pub(crate) fn seeds(m: &Model, source: Source) -> Vec<(Loc, HeaderSet)> {
     match source {
         Source::Tenant(t) => m
             .tenants
@@ -217,10 +218,21 @@ fn successors(
 }
 
 /// Computes the per-location reach sets for one source to fixed point.
-fn fixed_point(m: &Model, source: Source, col: &mut Collector) -> Reach {
+pub(crate) fn fixed_point(m: &Model, source: Source, col: &mut Collector) -> Reach {
+    fixed_point_seeded(m, seeds(m, source), col)
+}
+
+/// [`fixed_point`] from an explicit seed list (used by the cross-level
+/// differ, which seeds Baseline tenants at their vhost-attached vswitch
+/// ports instead of at VFs).
+pub(crate) fn fixed_point_seeded(
+    m: &Model,
+    seed_list: Vec<(Loc, HeaderSet)>,
+    col: &mut Collector,
+) -> Reach {
     let mut reach: Reach = BTreeMap::new();
     let mut work: VecDeque<(Loc, bool, HeaderSet)> = VecDeque::new();
-    for (loc, hs) in seeds(m, source) {
+    for (loc, hs) in seed_list {
         reach.entry((loc, false)).or_default().union(&hs);
         work.push_back((loc, false, hs));
     }
@@ -620,6 +632,7 @@ fn find_witness(
                                 src: *src,
                                 dst: *dst,
                                 vlan: *vlan,
+                                // lint:allow(lossy-cast): ether atoms are u16 masks widened to u64 for `pick`; narrowing back is exact
                                 ether: *ether as u16,
                                 ip_src: *ip_src,
                                 ip_dst: *ip_dst,
@@ -739,6 +752,7 @@ fn warnings(m: &Model, col: &Collector) -> Vec<Warning> {
     // Dead and shadowed NIC filters.
     for (p, pfm) in m.pfs.iter().enumerate() {
         for (pos, (orig, rule)) in pfm.filters.iter().enumerate() {
+            // lint:allow(lossy-cast): pf index; PfId is u8, so the NIC never exposes more
             if !col.filter_hits.contains(&(p as u8, *orig)) {
                 out.push(Warning {
                     kind: WarningKind::DeadNicFilter,
@@ -781,6 +795,7 @@ fn warnings(m: &Model, col: &Collector) -> Vec<Warning> {
     for (i, vs) in m.vswitches.iter().enumerate() {
         for (t, rules) in vs.tables.iter().enumerate() {
             for (idx, rule) in rules.iter().enumerate() {
+                // lint:allow(lossy-cast): table index; vswitch tables are addressed by u8
                 if !col.rule_hits.contains(&(i, t as u8, idx)) {
                     out.push(Warning {
                         kind: WarningKind::DeadFlowRule,
@@ -818,6 +833,7 @@ fn warnings(m: &Model, col: &Collector) -> Vec<Warning> {
     // VFs no frame can ever be delivered to.
     for (p, pfm) in m.pfs.iter().enumerate() {
         for id in pfm.vfs.keys() {
+            // lint:allow(lossy-cast): pf index; PfId is u8, so the NIC never exposes more
             if !col.vf_delivered.contains(&(p as u8, *id)) {
                 out.push(Warning {
                     kind: WarningKind::UnreachableVf,
@@ -841,13 +857,60 @@ fn warnings(m: &Model, col: &Collector) -> Vec<Warning> {
 // ---------------------------------------------------------------------------
 // Entry point
 
-/// Runs the full analysis over a model: every tenant and wire source to
-/// fixed point, verdict extraction with witnesses, then the dead/shadowed
-/// coverage pass.
-pub fn analyze(m: &Model) -> VerifyReport {
+/// Everything the analysis derives for one source: its reach map, the
+/// coverage facts its traversal collected, and its extracted violations.
+/// Cached per source by the incremental checker and recomputed only when a
+/// configuration delta can affect the source's cone.
+#[derive(Clone)]
+pub(crate) struct SourceAnalysis {
+    /// Per-location reach sets at fixed point.
+    pub reach: Reach,
+    /// Coverage facts from this source's traversal alone.
+    pub col: Collector,
+    /// Violations attributable to this source (empty for Baseline, where
+    /// verdicts are informational and never extracted).
+    pub violations: Vec<Violation>,
+}
+
+/// The sources analyzed for a model, in report order: tenants with VFs
+/// first (plan order), then the external wire per physical port.
+pub(crate) fn source_list(m: &Model) -> Vec<Source> {
+    let mut out: Vec<Source> = Vec::new();
+    for ti in &m.tenants {
+        if !ti.vfs.is_empty() {
+            out.push(Source::Tenant(ti.index));
+        }
+    }
+    for (p, _) in m.pfs.iter().enumerate() {
+        out.push(Source::External(u8::try_from(p).unwrap_or(u8::MAX)));
+    }
+    out
+}
+
+/// Runs one source to fixed point and extracts its violations.
+pub(crate) fn analyze_source(m: &Model, source: Source) -> SourceAnalysis {
+    let mut col = Collector::default();
+    let reach = fixed_point(m, source, &mut col);
+    let violations = if m.compartmentalized {
+        violations_for(m, source, &reach)
+    } else {
+        Vec::new()
+    };
+    SourceAnalysis {
+        reach,
+        col,
+        violations,
+    }
+}
+
+/// Assembles the final report from per-source analyses: merges coverage,
+/// concatenates violations in source order, appends the envelope breaches
+/// and runs the dead/shadowed warning pass. Byte-identical to the
+/// monolithic pass this was factored from — collectors are write-only sets,
+/// so per-source accumulation then merge equals one shared accumulator.
+pub(crate) fn assemble(m: &Model, analyses: &[SourceAnalysis]) -> VerifyReport {
     let mut col = Collector::default();
     let mut violations = Vec::new();
-    let mut sources = 0usize;
     let mut locations: BTreeSet<Loc> = BTreeSet::new();
 
     let informational = !m.compartmentalized;
@@ -860,32 +923,19 @@ pub fn analyze(m: &Model) -> VerifyReport {
         );
     }
 
-    let mut source_list: Vec<Source> = Vec::new();
-    for ti in &m.tenants {
-        if !ti.vfs.is_empty() {
-            source_list.push(Source::Tenant(ti.index));
-        }
-    }
-    for p in 0..m.pfs.len() {
-        source_list.push(Source::External(p as u8));
-    }
-
-    for source in source_list {
-        sources += 1;
-        let reach = fixed_point(m, source, &mut col);
-        for (loc, _) in reach.keys() {
+    for a in analyses {
+        col.merge(&a.col);
+        for (loc, _) in a.reach.keys() {
             locations.insert(*loc);
         }
-        if !informational {
-            violations.extend(violations_for(m, source, &reach));
-        }
+        violations.extend(a.violations.iter().cloned());
     }
     if !informational {
         violations.extend(envelope_breaches(m));
     }
 
     let stats = Stats {
-        sources,
+        sources: analyses.len(),
         locations: locations.len(),
         mac_atoms: m.dom.macs.len(),
         vlan_atoms: m.dom.vlans.len(),
@@ -905,4 +955,15 @@ pub fn analyze(m: &Model) -> VerifyReport {
         warnings: warnings(m, &col),
         stats,
     }
+}
+
+/// Runs the full analysis over a model: every tenant and wire source to
+/// fixed point, verdict extraction with witnesses, then the dead/shadowed
+/// coverage pass.
+pub fn analyze(m: &Model) -> VerifyReport {
+    let analyses: Vec<SourceAnalysis> = source_list(m)
+        .into_iter()
+        .map(|s| analyze_source(m, s))
+        .collect();
+    assemble(m, &analyses)
 }

@@ -219,6 +219,17 @@ pub struct Domains {
 }
 
 impl Domains {
+    /// Whether two atomizations assign identical atoms to every field —
+    /// the precondition for reusing symbolic header sets built under one
+    /// against the other. The index maps and multicast mask are derived
+    /// from the atom vectors, so comparing the vectors suffices.
+    pub fn same_atoms(&self, other: &Domains) -> bool {
+        self.macs == other.macs
+            && self.vlans == other.vlans
+            && self.ethers == other.ethers
+            && self.ip_starts == other.ip_starts
+    }
+
     /// All-ones mask over the MAC atoms.
     pub fn mac_all(&self) -> u128 {
         mask_ones(self.macs.len())
@@ -226,16 +237,19 @@ impl Domains {
 
     /// All-ones mask over the VLAN atoms.
     pub fn vlan_all(&self) -> u32 {
+        // lint:allow(lossy-cast): atom count is capped at the mask width at derive time (DomainOverflow)
         mask_ones(self.vlans.len()) as u32
     }
 
     /// All-ones mask over the EtherType atoms.
     pub fn ether_all(&self) -> u16 {
+        // lint:allow(lossy-cast): atom count is capped at the mask width at derive time (DomainOverflow)
         mask_ones(self.ethers.len()) as u16
     }
 
     /// All-ones mask over the IPv4 atoms.
     pub fn ip_all(&self) -> u64 {
+        // lint:allow(lossy-cast): atom count is capped at the mask width at derive time (DomainOverflow)
         mask_ones(self.ip_starts.len()) as u64
     }
 
@@ -282,6 +296,7 @@ impl Domains {
     pub fn ip_mask(&self, p: Ipv4Prefix) -> u64 {
         let mut mask = 0u64;
         for (i, s) in self.ip_starts.iter().enumerate() {
+            // lint:allow(lossy-cast): ip_starts hold IPv4 addresses (< 2^32); u64 only so the 2^32 end bound fits
             if p.contains(Ipv4Addr::from(*s as u32)) {
                 mask |= 1 << i;
             }
@@ -303,6 +318,7 @@ impl Domains {
 
     /// Picks one concrete header from a cube (lowest atom per field).
     pub fn concretize(&self, c: &Cube) -> ConcreteHeader {
+        // lint:allow(lossy-cast): deliberate split of the u128 mask into low/high u64 halves
         let mac_at = |mask: u128| self.macs[lowest(mask as u64, (mask >> 64) as u64)];
         let vlan_atom = c.vlan.trailing_zeros() as usize;
         ConcreteHeader {
@@ -313,7 +329,9 @@ impl Domains {
                 v => Some(v),
             },
             ethertype: self.ethers[c.ether.trailing_zeros() as usize],
+            // lint:allow(lossy-cast): ip_starts hold IPv4 addresses (< 2^32)
             ip_src: Ipv4Addr::from(self.ip_starts[c.ip_src.trailing_zeros() as usize] as u32),
+            // lint:allow(lossy-cast): ip_starts hold IPv4 addresses (< 2^32)
             ip_dst: Ipv4Addr::from(self.ip_starts[c.ip_dst.trailing_zeros() as usize] as u32),
         }
     }
@@ -534,6 +552,7 @@ impl HeaderSet {
             match field {
                 Field::Src => c.src = to,
                 Field::Dst => c.dst = to,
+                // lint:allow(lossy-cast): the vlan mask is the low u32 of the rewrite value by contract
                 Field::Vlan => c.vlan = to as u32,
             }
             out.insert(c);

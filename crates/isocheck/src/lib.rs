@@ -33,14 +33,18 @@
 //!
 //! [`Deployment`]: mts_core::controller::Deployment
 
+pub mod diff;
 pub mod engine;
 pub mod header;
+pub mod incremental;
 pub mod misconfig;
 pub mod model;
 pub mod report;
 
+pub use diff::{diff_levels, diff_models, Divergence, DivergenceKind, Endpoint, LevelDiff};
 pub use engine::{analyze, Loc, Source};
 pub use header::{ConcreteHeader, Cube, DomainOverflow, Domains, HeaderSet};
+pub use incremental::{IncrStats, IncrementalChecker};
 pub use misconfig::Misconfig;
 pub use model::{Model, NPort, VfRole};
 pub use report::{Stats, VerifyReport, Violation, ViolationKind, Warning, WarningKind, Witness};

@@ -85,6 +85,7 @@ pub struct TenantInfo {
 }
 
 /// The switching state of one PF's embedded VEB.
+#[derive(Clone)]
 pub struct PfModel {
     /// Static MAC entries `(vlan, mac, port)`.
     pub statics: Vec<(u16, MacAddr, NPort)>,
@@ -114,6 +115,7 @@ impl PfModel {
 }
 
 /// One vswitch pipeline plus its port attachments.
+#[derive(Clone)]
 pub struct VsModel {
     /// Switch name (for witness paths).
     pub name: String,
@@ -128,6 +130,7 @@ pub struct VsModel {
 }
 
 /// The verifiable model of a deployment.
+#[derive(Clone)]
 pub struct Model {
     /// Field atomization.
     pub dom: Domains,
@@ -168,6 +171,7 @@ impl Model {
         Model::of_parts(
             w.spec.label(),
             w.spec.level.compartmentalized(),
+            // lint:allow(lossy-cast): wire count comes from the spec and is far below 256
             w.wires_out.len() as u8,
             &w.plan,
             &w.nic,
@@ -343,6 +347,95 @@ impl Model {
         })
     }
 
+    /// Re-derives the header-field atomization from the model's *current*
+    /// switching state plus the (immutable) address plan.
+    ///
+    /// This replicates [`Model::of_parts`]'s domain seeding exactly — same
+    /// values, same order — so that a model maintained delta-by-delta
+    /// produces the same [`Domains`] a from-scratch extraction would. The
+    /// MAC/VLAN/IP collections atomize canonically (sets), and the only
+    /// insertion-ordered field (EtherType) is walked in the same order:
+    /// NIC filters in installation order, then flow rules table-ascending.
+    /// The incremental checker compares the result against its cached
+    /// atomization after every delta; a difference invalidates every
+    /// cached symbolic set and forces a full recomputation.
+    pub fn derive_domains(&self, plan: &AddressPlan) -> Result<Domains, DomainOverflow> {
+        let mut b = DomainsBuilder::new();
+
+        b.add_mac(plan.lg_mac);
+        b.add_mac(plan.sink_mac);
+        b.add_ip(plan.lg_ip);
+        for t in &plan.tenants {
+            b.add_vlan(t.vlan);
+            b.add_ip(t.ip);
+            b.add_ip(t.gw_ip);
+            for (_, mac) in &t.vf {
+                b.add_mac(*mac);
+            }
+        }
+
+        for pfm in &self.pfs {
+            for (vlan, mac, _) in &pfm.statics {
+                b.add_vlan(*vlan);
+                b.add_mac(*mac);
+            }
+            for cfg in pfm.vfs.values() {
+                b.add_mac(cfg.mac);
+                if let Some(v) = cfg.vlan {
+                    b.add_vlan(v);
+                }
+            }
+            // Filters are stored in evaluation order; recover installation
+            // order (what the live NIC's `filters()` returns) by original
+            // index so EtherType atoms appear in the same order.
+            let mut by_install: Vec<&(usize, FilterRule)> = pfm.filters.iter().collect();
+            by_install.sort_by_key(|(orig, _)| *orig);
+            for (_, r) in by_install {
+                if let Some(m) = r.src_mac {
+                    b.add_mac(m);
+                }
+                if let Some(m) = r.dst_mac {
+                    b.add_mac(m);
+                }
+                if let Some(v) = r.vlan {
+                    b.add_vlan(v);
+                }
+                if let Some(e) = r.ethertype {
+                    b.add_ether(e);
+                }
+            }
+        }
+
+        for vs in &self.vswitches {
+            for rules in &vs.tables {
+                for rule in rules {
+                    seed_from_match(&mut b, &rule.m);
+                    for a in &rule.actions {
+                        match a {
+                            Action::SetEthDst(m) | Action::SetEthSrc(m) => b.add_mac(*m),
+                            Action::PushVlan(v) => b.add_vlan(*v),
+                            Action::VxlanEncap {
+                                src_ip,
+                                dst_ip,
+                                src_mac,
+                                dst_mac,
+                                ..
+                            } => {
+                                b.add_ip(*src_ip);
+                                b.add_ip(*dst_ip);
+                                b.add_mac(*src_mac);
+                                b.add_mac(*dst_mac);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+
+        b.build()
+    }
+
     /// Where unknown unicast in VLAN `vid` on PF `pf` can end up, over all
     /// possible learning histories.
     ///
@@ -466,7 +559,7 @@ fn seed_from_match(b: &mut DomainsBuilder, m: &FlowMatch) {
 
 /// Coverage facts accumulated while pushing header sets through the model,
 /// consumed by the dead/shadowed-rule warning pass.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Collector {
     /// `(pf, original filter index)` of NIC filters that matched something.
     pub filter_hits: BTreeSet<(u8, usize)>,
@@ -476,6 +569,19 @@ pub struct Collector {
     pub vf_delivered: BTreeSet<(u8, u8)>,
     /// Model-truncation notes (e.g. VXLAN tunnels not traced through).
     pub notes: BTreeSet<String>,
+}
+
+impl Collector {
+    /// Set-unions another collector into this one. Collectors are
+    /// write-only during analysis (only inserts; read solely by the final
+    /// warning pass), so merging per-source collectors is exactly
+    /// equivalent to accumulating into a single one.
+    pub fn merge(&mut self, other: &Collector) {
+        self.filter_hits.extend(other.filter_hits.iter().copied());
+        self.rule_hits.extend(other.rule_hits.iter().copied());
+        self.vf_delivered.extend(other.vf_delivered.iter().copied());
+        self.notes.extend(other.notes.iter().cloned());
+    }
 }
 
 /// Pushes a header set into PF `pf` of the NIC at `from`, returning the

@@ -15,10 +15,18 @@
 //!   (`.sum()`, `.count()`, `.any(..)`, `.all(..)`, `.fold` into min/max).
 //!   Hash iteration order is nondeterministic across runs and platforms;
 //!   anything order-sensitive must sort first or use a `BTreeMap`.
+//! * `lossy-cast` — no `as u8`..`as i64` truncating casts in `meters.rs`,
+//!   `billing.rs` or the `isocheck` crate. The cycle-conservation identity
+//!   and the verifier's atom masks depend on exact integer arithmetic; a
+//!   silent truncation corrupts both without failing any test. `as usize` /
+//!   `as u128` (never lossy here) and float casts (rounding by intent) are
+//!   exempt.
 //!
 //! A finding is waived by a comment `lint:allow(<check>)` on the same line
 //! or the line directly above, which is expected to justify *why* the site
-//! is safe. Binary crates (no `src/lib.rs`), `src/bin/`, tests, benches
+//! is safe. A waiver that no longer suppresses any finding is itself an
+//! `unused-waiver` finding — stale waivers silently license future
+//! regressions. Binary crates (no `src/lib.rs`), `src/bin/`, tests, benches
 //! and doc comments are out of scope.
 
 use std::fs;
@@ -74,7 +82,8 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "usage: cargo xtask <lint | bench-check [FILE] [--against BASELINE] [--tolerance FRAC]>    (got {:?})\n\n\
-                 lint checks: wall-clock, no-print, no-unwrap, hashmap-iter\n\
+                 lint checks: wall-clock, no-print, no-unwrap, hashmap-iter, lossy-cast\n\
+                 (plus unused-waiver: a lint:allow tag that suppresses nothing)\n\
                  bench-check validates a perf-trajectory snapshot (schema mts-bench-v1);\n\
                  with --against it also fails when any workload's events_per_sec regresses\n\
                  by more than FRAC (default 0.25) against the baseline snapshot. The\n\
@@ -569,15 +578,21 @@ fn hash_idents(lines: &[&str]) -> Vec<String> {
         let (code, _) = split_comment(line);
         for ty in ["HashMap", "HashSet"] {
             if let Some(pos) = code.find(ty) {
+                // Expand to the start of the full type identifier so alias
+                // wrappers (`FastHashMap<..>`) bind their field name too.
+                let ty_start = code[..pos]
+                    .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                    .map(|i| i + 1)
+                    .unwrap_or(0);
                 // `name: HashMap<...>` — walk back over `: `.
-                let before = code[..pos].trim_end();
+                let before = code[..ty_start].trim_end();
                 if let Some(before) = before.strip_suffix(':') {
                     if let Some(id) = trailing_ident(before.trim_end()) {
                         out.push(id);
                     }
                 }
                 // `let [mut] name = HashMap::new()`.
-                if let Some(eq) = code[..pos].rfind('=') {
+                if let Some(eq) = code[..ty_start].rfind('=') {
                     if let Some(id) = trailing_ident(code[..eq].trim_end()) {
                         out.push(id);
                     }
@@ -621,9 +636,81 @@ const ITER_METHODS: [&str; 7] = [
 /// one of these is deterministic regardless of iteration order.
 const REDUCTIONS: [&str; 6] = [".sum()", ".count()", ".any(", ".all(", ".min()", ".max()"];
 
+/// One `lint:allow(<check>)` comment, tracked so waivers that no longer
+/// suppress anything are themselves reported (`unused-waiver`).
+struct WaiverSite {
+    idx: usize, // 0-based line the tag appears on
+    check: String,
+    used: bool,
+}
+
+/// Every check name tagged `lint:allow(<check>)` in a comment.
+fn waiver_tags(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = comment[from..].find("lint:allow(") {
+        let start = from + pos + "lint:allow(".len();
+        match comment[start..].find(')') {
+            Some(end) => {
+                out.push(comment[start..start + end].to_string());
+                from = start + end;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Marks (and reports) whether a waiver for `check` covers the finding on
+/// line `idx`: the tag may sit on the same line or the line directly above.
+fn waive(waivers: &mut [WaiverSite], idx: usize, check: &str) -> bool {
+    let mut hit = false;
+    for w in waivers.iter_mut() {
+        if w.check == check && (w.idx == idx || w.idx + 1 == idx) {
+            w.used = true;
+            hit = true;
+        }
+    }
+    hit
+}
+
+/// The `lossy-cast` check only covers the files whose arithmetic feeds the
+/// cycle-conservation identity and the verifier's atom masks: the metering
+/// and billing pipeline, and everything in `mts-isocheck`.
+fn lossy_cast_scope(file: &Path) -> bool {
+    let name = file.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    name == "meters.rs"
+        || name == "billing.rs"
+        || file.components().any(|c| c.as_os_str() == "isocheck")
+}
+
+const LOSSY_CAST_TARGETS: [&str; 8] = ["u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64"];
+
+/// `as u8`/`as i64`-style casts that can silently truncate or wrap.
+/// `as usize`, `as u128` and float casts are out of scope: the former two
+/// never lose integer bits on supported targets, the latter are rounding by
+/// declared intent.
+fn has_lossy_cast(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(" as ") {
+        let start = from + pos + " as ".len();
+        let ident: String = code[start..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if LOSSY_CAST_TARGETS.contains(&ident.as_str()) {
+            return true;
+        }
+        from = start;
+    }
+    false
+}
+
 fn scan_file(file: &Path, text: &str, findings: &mut Vec<Finding>) {
     let lines: Vec<&str> = text.lines().collect();
     let hash_ids = hash_idents(&lines);
+    let lossy_scope = lossy_cast_scope(file);
+    let mut waivers: Vec<WaiverSite> = Vec::new();
 
     // Pass: walk lines, skipping `#[cfg(test)]` items via brace counting.
     let mut skip_depth = 0i64; // >0: inside a cfg(test) block
@@ -655,14 +742,13 @@ fn scan_file(file: &Path, text: &str, findings: &mut Vec<Finding>) {
             continue;
         }
 
-        let waived = |check: &str| {
-            let tag = format!("lint:allow({check})");
-            comment.contains(&tag)
-                || idx
-                    .checked_sub(1)
-                    .and_then(|i| lines.get(i))
-                    .is_some_and(|prev| prev.contains(&tag))
-        };
+        for check in waiver_tags(&comment) {
+            waivers.push(WaiverSite {
+                idx,
+                check,
+                used: false,
+            });
+        }
         let mut push = |check: &'static str| {
             findings.push(Finding {
                 file: file.to_path_buf(),
@@ -675,18 +761,40 @@ fn scan_file(file: &Path, text: &str, findings: &mut Vec<Finding>) {
         if (code.contains("std::time")
             || code.contains("Instant::now")
             || code.contains("SystemTime"))
-            && !waived("wall-clock")
+            && !waive(&mut waivers, idx, "wall-clock")
         {
             push("wall-clock");
         }
-        if (code.contains("println!") || has_bare_print(&code)) && !waived("no-print") {
+        if (code.contains("println!") || has_bare_print(&code))
+            && !waive(&mut waivers, idx, "no-print")
+        {
             push("no-print");
         }
-        if (code.contains(".unwrap()") || code.contains(".expect(")) && !waived("no-unwrap") {
+        if (code.contains(".unwrap()") || code.contains(".expect("))
+            && !waive(&mut waivers, idx, "no-unwrap")
+        {
             push("no-unwrap");
         }
-        if !waived("hashmap-iter") && iterates_hash(&lines, idx, &code, &hash_ids) {
+        if lossy_scope && has_lossy_cast(&code) && !waive(&mut waivers, idx, "lossy-cast") {
+            push("lossy-cast");
+        }
+        if iterates_hash(&lines, idx, &code, &hash_ids) && !waive(&mut waivers, idx, "hashmap-iter")
+        {
             push("hashmap-iter");
+        }
+    }
+
+    // A waiver that suppressed nothing is stale: the code it justified is
+    // gone or changed, and the comment now silently licenses a future
+    // regression. Report it so it gets deleted alongside the fix.
+    for w in &waivers {
+        if !w.used {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: w.idx + 1,
+                check: "unused-waiver",
+                excerpt: lines.get(w.idx).copied().unwrap_or_default().to_string(),
+            });
         }
     }
 }
@@ -760,4 +868,86 @@ fn iterates_hash(lines: &[&str], idx: usize, code: &str, hash_ids: &[String]) ->
         .collect::<Vec<_>>()
         .join("");
     !REDUCTIONS.iter().any(|r| stmt.contains(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossy_cast_detection() {
+        assert!(has_lossy_cast("let x = y as u8;"));
+        assert!(has_lossy_cast("f(a as i64)"));
+        assert!(has_lossy_cast("(mask >> 64) as u64"));
+        assert!(!has_lossy_cast("let x = y as usize;"));
+        assert!(!has_lossy_cast("let x = y as u128;"));
+        assert!(!has_lossy_cast("let x = y as f64;"));
+        assert!(!has_lossy_cast("let x = y.into();"));
+        // `as` as a word, not a cast operator.
+        assert!(!has_lossy_cast("// treated as utterly safe"));
+    }
+
+    #[test]
+    fn lossy_cast_scope_is_meters_billing_isocheck() {
+        assert!(lossy_cast_scope(Path::new("crates/core/src/meters.rs")));
+        assert!(lossy_cast_scope(Path::new("crates/core/src/billing.rs")));
+        assert!(lossy_cast_scope(Path::new("crates/isocheck/src/engine.rs")));
+        assert!(!lossy_cast_scope(Path::new("crates/core/src/runtime.rs")));
+    }
+
+    #[test]
+    fn waiver_tag_extraction() {
+        assert_eq!(
+            waiver_tags("// lint:allow(lossy-cast): bounded by spec"),
+            vec!["lossy-cast".to_string()]
+        );
+        assert_eq!(
+            waiver_tags("// lint:allow(no-unwrap) lint:allow(no-print)"),
+            vec!["no-unwrap".to_string(), "no-print".to_string()]
+        );
+        assert!(waiver_tags("// plain comment").is_empty());
+    }
+
+    fn scan(src: &str, file: &str) -> Vec<(usize, &'static str)> {
+        let mut findings = Vec::new();
+        scan_file(Path::new(file), src, &mut findings);
+        findings.into_iter().map(|f| (f.line, f.check)).collect()
+    }
+
+    #[test]
+    fn waived_finding_is_suppressed_and_waiver_counts_as_used() {
+        let src = "// lint:allow(lossy-cast): index is bounded\nlet x = i as u8;\n";
+        assert!(scan(src, "crates/isocheck/src/model.rs").is_empty());
+    }
+
+    #[test]
+    fn unwaived_lossy_cast_is_reported_in_scope_only() {
+        let src = "let x = i as u8;\n";
+        assert_eq!(
+            scan(src, "crates/core/src/billing.rs"),
+            vec![(1, "lossy-cast")]
+        );
+        assert!(scan(src, "crates/core/src/runtime.rs").is_empty());
+    }
+
+    #[test]
+    fn stale_waiver_is_reported() {
+        let src = "// lint:allow(lossy-cast): obsolete justification\nlet x = u8::from(b);\n";
+        assert_eq!(
+            scan(src, "crates/isocheck/src/header.rs"),
+            vec![(1, "unused-waiver")]
+        );
+    }
+
+    #[test]
+    fn waiver_in_test_code_is_not_stale() {
+        let src = "#[cfg(test)]\nmod tests {\n    // lint:allow(no-unwrap): tests may panic\n    fn f() {}\n}\n";
+        assert!(scan(src, "crates/core/src/billing.rs").is_empty());
+    }
+
+    #[test]
+    fn hash_alias_wrappers_bind_field_names() {
+        let ids = hash_idents(&["    table: FastHashMap<(u16, u64), Entry>,"]);
+        assert_eq!(ids, vec!["table".to_string()]);
+    }
 }
