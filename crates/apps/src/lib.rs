@@ -14,13 +14,18 @@
 //!   destination MAC (paper: "we adapted the DPDK-17.11 l2fwd app to
 //!   rewrite the correct destination MAC address") with burst-32 tx
 //!   buffering and the 100 µs drain interval.
+//! - [`dns`] — a DNS-style request/response server and a dnsperf-style
+//!   resolver client: small queries at high transaction rate, used as the
+//!   background workload for fuzz-injection runs.
 
+pub mod dns;
 pub mod http;
 pub mod iperf;
 pub mod l2fwd;
 pub mod memcached;
 pub mod traits;
 
+pub use dns::{DnsClient, DnsServer};
 pub use http::{AbClient, HttpServer};
 pub use iperf::{IperfClient, IperfServer};
 pub use l2fwd::L2Fwd;

@@ -5,7 +5,7 @@
 //! ```text
 //! repro [--quick] [--out DIR] \
 //!   [--trace-out FILE] [--metrics-out FILE] [--bench-out FILE] \
-//!   [all|verify|fig5|fig6|pktsize|table1|vfcount|isolation|noisy|overlay|billing|trace|faults|slo]
+//!   [all|verify|fuzz|fig5|fig6|pktsize|table1|vfcount|isolation|noisy|overlay|billing|trace|faults|slo]
 //! ```
 //!
 //! Prints aligned tables to stdout and writes CSV files under `--out`
@@ -24,6 +24,17 @@
 //! configuration free of reachability regressions against its Baseline.
 //! Exits nonzero on any failure. The same analysis also runs
 //! automatically as a pre-flight check before every simulated scenario.
+//!
+//! The `fuzz` target runs the deterministic structured fuzzing campaign
+//! (`mts-fuzz`, see `ROBUSTNESS.md`): fixed-seed generators and mutators
+//! over the wire codec, the fault-plan grammar, hostile `ConfigDelta`
+//! streams through the incremental verifier (full `verify()` as the
+//! differential oracle), and reconciliation damage — plus the two live
+//! modes (per-level NIC zero-leak injection and in-world byte injection
+//! under traffic). It then replays the committed crasher corpus
+//! (`tests/corpus/`) and exits nonzero on any invariant violation,
+//! replay failure, or an empty corpus. `--quick` runs the 10k-case
+//! budget; the default budget is ~5x larger.
 //!
 //! The `trace` target (implied when `--trace-out`/`--metrics-out` is given
 //! without an explicit target) runs a Level-2 v2v scenario with telemetry
@@ -72,7 +83,7 @@ use mts_core::workloads::Workload;
 use mts_core::{billing, overlay, Controller};
 use mts_host::ResourceMode;
 use mts_net::MacAddr;
-use mts_nic::{FilterAction, FilterRule, PfId, PortClass, VfConfig};
+use mts_nic::{FilterAction, FilterRule, NicPort, PfId, PortClass, VfConfig};
 use mts_sim::Time;
 use mts_telemetry::{MediationAuditor, Telemetry};
 use mts_vswitch::DatapathKind;
@@ -643,6 +654,59 @@ fn run_verify() {
     );
 }
 
+/// The fuzzing gate: a fixed-seed deterministic campaign over the wire,
+/// fault-plan, delta-stream, and reconciliation surfaces plus both live
+/// injection modes, then a full replay of the committed crasher corpus.
+/// Self-checking: exits non-zero on any invariant violation, corpus
+/// replay failure, or an empty corpus.
+fn run_fuzz(quick: bool, out: &PathBuf) {
+    println!("== deterministic fuzz campaign (mts-fuzz) ==");
+    let cfg = mts_fuzz::FuzzConfig {
+        seed: 0xF022,
+        budget: if quick {
+            mts_fuzz::Budget::quick()
+        } else {
+            mts_fuzz::Budget::full()
+        },
+    };
+    let report = mts_fuzz::run_campaign(&cfg);
+    println!("{report}");
+    save(out, "fuzz_campaign.csv", &report.to_csv());
+    let mut failed = false;
+    if !report.clean() {
+        eprintln!("repro: fuzz: campaign found invariant violations");
+        failed = true;
+    }
+
+    println!("== pinned crasher corpus replay ==");
+    match mts_fuzz::corpus::load_all() {
+        Ok(cases) if cases.is_empty() => {
+            eprintln!("repro: fuzz: committed corpus is empty");
+            failed = true;
+        }
+        Ok(cases) => {
+            for case in &cases {
+                match mts_fuzz::corpus::replay(case) {
+                    Ok(()) => println!("  {case}: green"),
+                    Err(e) => {
+                        eprintln!("repro: fuzz: corpus replay: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            println!("fuzz: {} corpus cases replayed", cases.len());
+        }
+        Err(e) => {
+            eprintln!("repro: fuzz: corpus load: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("repro: fuzzing FAILED");
+        std::process::exit(1);
+    }
+}
+
 /// Byte-identity oracle: the incremental checker's rendered report must be
 /// exactly what the from-scratch verifier produces on the deployment's
 /// current state.
@@ -839,6 +903,27 @@ fn misconfig_delta_control(
                 filters,
             }
         }
+        mts_isocheck::Misconfig::StaticHijack => {
+            // Mirror the seed: the victim's gateway (vswitch in-out) MAC
+            // entry on its VLAN is re-pointed at the attacker's VF.
+            let victim = d.plan.tenants[0].vf[0].0;
+            let vmac = d.plan.tenants[0].vf[0].1;
+            let attacker = d.plan.tenants[1].vf[0].0;
+            let pf = d.nic.pf(victim.pf).map_err(|e| e.to_string())?;
+            let vlan = pf.vf(victim.vf).and_then(|c| c.vlan).unwrap_or(0);
+            let gw = pf
+                .static_macs()
+                .into_iter()
+                .find(|(v, m, p)| *v == vlan && *m != vmac && matches!(p, NicPort::Vf(_)))
+                .map(|(_, m, _)| m)
+                .ok_or("no gateway static entry on the victim VLAN")?;
+            ConfigDelta::StaticInstalled {
+                pf: victim.pf.0,
+                vlan,
+                mac: gw,
+                port: NicPort::Vf(attacker.vf),
+            }
+        }
     };
     mc.seed(&mut d).map_err(|e| e.to_string())?;
     apply_and_check(&mut checker, &d, &delta)?;
@@ -898,6 +983,7 @@ fn main() {
     for what in &args.what {
         match what.as_str() {
             "verify" => run_verify(),
+            "fuzz" => run_fuzz(args.quick, &args.out),
             "faults" => run_faults(
                 args.quick,
                 &args.out,
@@ -1052,6 +1138,7 @@ fn main() {
             }
             "all" => {
                 run_verify();
+                run_fuzz(args.quick, &args.out);
                 run_faults(args.quick, &args.out, None, None);
                 run_slo(args.quick, &args.out, args.bench_out.as_deref());
                 println!("== Table 1 ==\n{}", survey::render_table());

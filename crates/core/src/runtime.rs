@@ -893,6 +893,66 @@ pub fn wire_inject(w: &mut World, e: &mut Sim, pf: PfId, frame: Frame) {
     );
 }
 
+/// Maps a parse failure to its drop cause: decap-bomb nesting is
+/// accounted separately from garden-variety garbage.
+fn malformed_cause(err: &mts_net::wire::WireError) -> DropCause {
+    match err {
+        mts_net::wire::WireError::EncapTooDeep => DropCause::MalformedEncap,
+        _ => DropCause::MalformedFrame,
+    }
+}
+
+/// Injects raw, untrusted bytes from the external wire onto port `pf`.
+///
+/// This is the byte-level ingress boundary the fuzzer drives: bytes that
+/// fail to parse are dropped with a typed cause ([`DropCause::MalformedEncap`]
+/// for VXLAN nesting past the cap, [`DropCause::MalformedFrame`] otherwise)
+/// instead of reaching — let alone panicking — the structural datapath.
+/// Returns the accepted frame's id so callers can account for it.
+pub fn wire_inject_bytes(
+    w: &mut World,
+    e: &mut Sim,
+    pf: PfId,
+    bytes: &[u8],
+) -> Result<u64, mts_net::wire::WireError> {
+    match mts_net::wire::parse(bytes) {
+        Ok(frame) => {
+            let id = frame.id;
+            wire_inject(w, e, pf, frame);
+            Ok(id)
+        }
+        Err(err) => {
+            w.drop_frame(malformed_cause(&err));
+            Err(err)
+        }
+    }
+}
+
+/// Injects raw, untrusted bytes as if a (compromised) tenant VM wrote
+/// them into VF `vf` of `pf` — no FCS on this path, exactly like a real
+/// VF tx ring. Malformed bytes drop with a typed cause; parsed frames
+/// enter the NIC's embedded switch and face the usual spoof/VST/filter
+/// policy.
+pub fn vf_inject_bytes(
+    w: &mut World,
+    e: &mut Sim,
+    pf: PfId,
+    vf: VfId,
+    bytes: &[u8],
+) -> Result<u64, mts_net::wire::WireError> {
+    match mts_net::wire::parse_without_fcs(bytes) {
+        Ok(frame) => {
+            let id = frame.id;
+            nic_rx(w, e, pf, NicPort::Vf(vf), frame);
+            Ok(id)
+        }
+        Err(err) => {
+            w.drop_frame(malformed_cause(&err));
+            Err(err)
+        }
+    }
+}
+
 /// A frame leaves the NIC onto the wire of `pf` (link-down drops here).
 fn wire_tx(w: &mut World, e: &mut Sim, pf: PfId, frame: Frame) {
     if !w.link_up[pf.0 as usize] {

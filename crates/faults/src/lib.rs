@@ -36,4 +36,4 @@ pub use experiment::{
     blast_radius_panel, render, run_cell, run_traced, BlastCell, FaultCase, FaultOpts,
 };
 pub use inject::{inject, schedule};
-pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanParseError};
+pub use plan::{DurParseError, FaultEvent, FaultKind, FaultPlan, PlanParseError, PlanReason};

@@ -131,13 +131,103 @@ pub struct FaultPlan {
     pub events: Vec<FaultEvent>,
 }
 
+/// Why a duration token failed to parse.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DurParseError {
+    /// No `ns`/`us`/`ms`/`s` suffix.
+    MissingSuffix {
+        /// The offending token.
+        got: String,
+    },
+    /// The numeric part did not parse as a finite number.
+    BadNumber {
+        /// The offending numeric part.
+        got: String,
+    },
+    /// The value was negative, NaN or infinite.
+    OutOfRange {
+        /// The offending token.
+        got: String,
+    },
+}
+
+impl fmt::Display for DurParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurParseError::MissingSuffix { got } => {
+                write!(f, "duration '{got}' needs a ns/us/ms/s suffix")
+            }
+            DurParseError::BadNumber { got } => write!(f, "bad duration number '{got}'"),
+            DurParseError::OutOfRange { got } => write!(f, "duration '{got}' out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DurParseError {}
+
+/// What went wrong on a plan line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PlanReason {
+    /// The line did not start with `@<time>`.
+    MissingAt {
+        /// The token found instead.
+        got: String,
+    },
+    /// The line had a time but no fault verb.
+    MissingKind,
+    /// A word after the verb was not `key=value`.
+    BadKeyValue {
+        /// The offending word.
+        got: String,
+    },
+    /// A verb's required key was absent.
+    MissingKey {
+        /// The fault verb.
+        verb: String,
+        /// The key it requires.
+        key: &'static str,
+    },
+    /// A key's value did not parse.
+    BadValue {
+        /// The key whose value was bad.
+        key: &'static str,
+    },
+    /// A duration token was malformed.
+    BadDuration(DurParseError),
+    /// The fault verb is not in the vocabulary.
+    UnknownKind {
+        /// The verb found.
+        got: String,
+    },
+}
+
+impl fmt::Display for PlanReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanReason::MissingAt { got } => write!(f, "expected @<time>, got '{got}'"),
+            PlanReason::MissingKind => write!(f, "missing fault kind"),
+            PlanReason::BadKeyValue { got } => write!(f, "expected key=value, got '{got}'"),
+            PlanReason::MissingKey { verb, key } => write!(f, "{verb} requires {key}="),
+            PlanReason::BadValue { key } => write!(f, "bad {key}= value"),
+            PlanReason::BadDuration(e) => write!(f, "{e}"),
+            PlanReason::UnknownKind { got } => write!(f, "unknown fault kind '{got}'"),
+        }
+    }
+}
+
+impl From<DurParseError> for PlanReason {
+    fn from(e: DurParseError) -> PlanReason {
+        PlanReason::BadDuration(e)
+    }
+}
+
 /// A parse failure, with the offending line.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PlanParseError {
     /// 1-based line number.
     pub line: usize,
     /// What went wrong.
-    pub reason: String,
+    pub reason: PlanReason,
 }
 
 impl fmt::Display for PlanParseError {
@@ -171,46 +261,57 @@ impl FaultPlan {
         let mut plan = FaultPlan::new();
         for (i, raw) in text.lines().enumerate() {
             let line = i + 1;
-            let err = |reason: String| PlanParseError { line, reason };
+            let err = |reason: PlanReason| PlanParseError { line, reason };
             let code = raw.split('#').next().unwrap_or("").trim();
             if code.is_empty() {
                 continue;
             }
             let mut words = code.split_whitespace();
             let at_tok = words.next().unwrap_or("");
-            let at = at_tok
-                .strip_prefix('@')
-                .ok_or_else(|| err(format!("expected @<time>, got '{at_tok}'")))?;
-            let at = Time::ZERO + parse_dur(at).map_err(&err)?;
-            let verb = words
-                .next()
-                .ok_or_else(|| err("missing fault kind".into()))?;
+            let at = at_tok.strip_prefix('@').ok_or_else(|| {
+                err(PlanReason::MissingAt {
+                    got: at_tok.to_string(),
+                })
+            })?;
+            let at = Time::ZERO + parse_dur(at).map_err(|e| err(e.into()))?;
+            let verb = words.next().ok_or_else(|| err(PlanReason::MissingKind))?;
             let mut kv = std::collections::BTreeMap::new();
             for w in words {
                 let (k, v) = w
                     .split_once('=')
-                    .ok_or_else(|| err(format!("expected key=value, got '{w}'")))?;
+                    .ok_or_else(|| err(PlanReason::BadKeyValue { got: w.to_string() }))?;
                 kv.insert(k, v);
             }
-            let get = |k: &str| -> Result<&str, PlanParseError> {
-                kv.get(k)
-                    .copied()
-                    .ok_or_else(|| err(format!("{verb} requires {k}=")))
+            let get = |k: &'static str| -> Result<&str, PlanParseError> {
+                kv.get(k).copied().ok_or_else(|| {
+                    err(PlanReason::MissingKey {
+                        verb: verb.to_string(),
+                        key: k,
+                    })
+                })
             };
-            let usize_of = |k: &str| -> Result<usize, PlanParseError> {
-                get(k)?.parse().map_err(|_| err(format!("bad {k}= value")))
+            let usize_of = |k: &'static str| -> Result<usize, PlanParseError> {
+                get(k)?
+                    .parse()
+                    .map_err(|_| err(PlanReason::BadValue { key: k }))
             };
-            let u8_of = |k: &str| -> Result<u8, PlanParseError> {
-                get(k)?.parse().map_err(|_| err(format!("bad {k}= value")))
+            let u8_of = |k: &'static str| -> Result<u8, PlanParseError> {
+                get(k)?
+                    .parse()
+                    .map_err(|_| err(PlanReason::BadValue { key: k }))
             };
-            let dur_of =
-                |k: &str| -> Result<Dur, PlanParseError> { parse_dur(get(k)?).map_err(&err) };
+            let dur_of = |k: &'static str| -> Result<Dur, PlanParseError> {
+                parse_dur(get(k)?).map_err(|e| err(e.into()))
+            };
             let kind = match verb {
                 "crash" => FaultKind::CrashVswitch {
                     vswitch: usize_of("vswitch")?,
                     crashloop: kv
                         .get("crashloop")
-                        .map(|v| v.parse().map_err(|_| err("bad crashloop= value".into())))
+                        .map(|v| {
+                            v.parse()
+                                .map_err(|_| err(PlanReason::BadValue { key: "crashloop" }))
+                        })
                         .transpose()?
                         .unwrap_or(0),
                 },
@@ -218,14 +319,14 @@ impl FaultPlan {
                     vswitch: usize_of("vswitch")?,
                     heal_after: kv
                         .get("heal")
-                        .map(|v| parse_dur(v).map_err(&err))
+                        .map(|v| parse_dur(v).map_err(|e| err(e.into())))
                         .transpose()?,
                 },
                 "slow" => FaultKind::SlowVswitch {
                     vswitch: usize_of("vswitch")?,
                     factor: get("factor")?
                         .parse()
-                        .map_err(|_| err("bad factor= value".into()))?,
+                        .map_err(|_| err(PlanReason::BadValue { key: "factor" }))?,
                     heal_after: dur_of("heal")?,
                 },
                 "flush-veb" => FaultKind::FlushVeb { pf: u8_of("pf")? },
@@ -236,7 +337,7 @@ impl FaultPlan {
                     vswitch: usize_of("vswitch")?,
                     fraction: get("fraction")?
                         .parse()
-                        .map_err(|_| err("bad fraction= value".into()))?,
+                        .map_err(|_| err(PlanReason::BadValue { key: "fraction" }))?,
                 },
                 "link-flap" => FaultKind::LinkFlap {
                     pf: u8_of("pf")?,
@@ -249,7 +350,11 @@ impl FaultPlan {
                 "controller-loss" => FaultKind::ControllerLoss {
                     down_for: dur_of("down")?,
                 },
-                other => return Err(err(format!("unknown fault kind '{other}'"))),
+                other => {
+                    return Err(err(PlanReason::UnknownKind {
+                        got: other.to_string(),
+                    }))
+                }
             };
             plan.events.push(FaultEvent { at, kind });
         }
@@ -258,7 +363,7 @@ impl FaultPlan {
 }
 
 /// Parses `123ns` / `45us` / `10ms` / `2s` (integer or fractional).
-fn parse_dur(s: &str) -> Result<Dur, String> {
+fn parse_dur(s: &str) -> Result<Dur, DurParseError> {
     let (num, scale) = if let Some(n) = s.strip_suffix("ns") {
         (n, 1.0)
     } else if let Some(n) = s.strip_suffix("us") {
@@ -268,14 +373,16 @@ fn parse_dur(s: &str) -> Result<Dur, String> {
     } else if let Some(n) = s.strip_suffix('s') {
         (n, 1e9)
     } else {
-        return Err(format!("duration '{s}' needs a ns/us/ms/s suffix"));
+        return Err(DurParseError::MissingSuffix { got: s.to_string() });
     };
-    let v: f64 = num
-        .parse()
-        .map_err(|_| format!("bad duration number '{num}'"))?;
-    if !v.is_finite() || v < 0.0 {
-        return Err(format!("duration '{s}' out of range"));
+    let v: f64 = num.parse().map_err(|_| DurParseError::BadNumber {
+        got: num.to_string(),
+    })?;
+    if !v.is_finite() || v < 0.0 || v * scale >= 1e19 {
+        return Err(DurParseError::OutOfRange { got: s.to_string() });
     }
+    // The cast cannot wrap: the value is finite, non-negative and below
+    // 1e19 (< u64::MAX) by the range check above.
     Ok(Dur::nanos((v * scale).round() as u64))
 }
 
@@ -361,13 +468,33 @@ mod tests {
         let e = FaultPlan::parse("@1ms crash vswitch=0\nnope").unwrap_err();
         assert_eq!(e.line, 2);
         let e = FaultPlan::parse("@1ms crash").unwrap_err();
-        assert!(e.reason.contains("vswitch="), "{e}");
+        assert_eq!(
+            e.reason,
+            PlanReason::MissingKey {
+                verb: "crash".into(),
+                key: "vswitch"
+            }
+        );
+        assert!(e.to_string().contains("vswitch="), "{e}");
         let e = FaultPlan::parse("@1x crash vswitch=0").unwrap_err();
-        assert!(e.reason.contains("suffix"), "{e}");
+        assert!(matches!(
+            e.reason,
+            PlanReason::BadDuration(DurParseError::MissingSuffix { .. })
+        ));
+        assert!(e.to_string().contains("suffix"), "{e}");
         let e = FaultPlan::parse("@1ms teleport vswitch=0").unwrap_err();
-        assert!(e.reason.contains("unknown"), "{e}");
+        assert!(matches!(e.reason, PlanReason::UnknownKind { .. }));
+        assert!(e.to_string().contains("unknown"), "{e}");
         let e = FaultPlan::parse("1ms crash vswitch=0").unwrap_err();
-        assert!(e.reason.contains("@"), "{e}");
+        assert!(matches!(e.reason, PlanReason::MissingAt { .. }));
+        assert!(e.to_string().contains("@"), "{e}");
+        let e = FaultPlan::parse("@1ms crash vswitch=0 bogus").unwrap_err();
+        assert!(matches!(e.reason, PlanReason::BadKeyValue { .. }));
+        let e = FaultPlan::parse("@99999999999s crash vswitch=0").unwrap_err();
+        assert!(matches!(
+            e.reason,
+            PlanReason::BadDuration(DurParseError::OutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Fuzzing the control plane: randomized [`ConfigDelta`] streams replayed
+//! through the [`IncrementalChecker`] against the from-scratch verifier.
+//!
+//! Each case deploys a real configuration from the shipped matrix and
+//! drives a stream of operations. Every operation mutates the deployment
+//! through its public APIs and feeds the matching delta(s) to an
+//! incremental checker; after each operation the incremental verdict must
+//! render byte-for-byte identical to [`mts_isocheck::verify`] run from
+//! scratch (the differential oracle).
+//!
+//! The op mix goes beyond the benign churn the equivalence tests already
+//! exercise: hostile static-MAC installs (the family that surfaced the
+//! `StaticHijack` misconfiguration now pinned in the isocheck negative
+//! controls), hostile VF reconfiguration (cross-tenant VLANs, spoof-check
+//! off, re-addressed MACs), and out-of-range deltas that must be exact
+//! no-ops. Divergences shrink to a minimal op-index subset: each op draws
+//! its randomness from an index-derived rng, so replaying any subset of
+//! indices is deterministic.
+
+use crate::shrink;
+use crate::{Crasher, Surface, SurfaceStats};
+use mts_core::controller::{Controller, Deployment};
+use mts_core::delta::ConfigDelta;
+use mts_core::DeploymentSpec;
+use mts_isocheck::IncrementalChecker;
+use mts_net::MacAddr;
+use mts_nic::{NicPort, VfId};
+use mts_sim::DetRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Ops per delta-stream case.
+const OPS_PER_CASE: usize = 12;
+
+fn check_equiv(checker: &mut IncrementalChecker, d: &Deployment, what: &str) -> Result<(), String> {
+    let inc = checker.report().map_err(|e| e.to_string())?;
+    let full = mts_isocheck::verify(d).map_err(|e| e.to_string())?;
+    if format!("{inc}") != format!("{full}") {
+        return Err(format!(
+            "incremental/full divergence after {what} (stats {:?})",
+            checker.stats()
+        ));
+    }
+    Ok(())
+}
+
+/// Reads a VF's config back from the NIC to build the `VfConfigured`
+/// delta the host path would emit.
+fn vf_delta(d: &Deployment, r: mts_core::vfplan::VfRef) -> Result<ConfigDelta, String> {
+    let cfg = d
+        .nic
+        .pf(r.pf)
+        .map_err(|e| e.to_string())?
+        .vf(r.vf)
+        .cloned()
+        .ok_or_else(|| format!("no VF {}/{}", r.pf.0, r.vf.0))?;
+    Ok(ConfigDelta::VfConfigured {
+        pf: r.pf.0,
+        vf: r.vf.0,
+        cfg,
+    })
+}
+
+/// Applies operation `idx` of a stream, drawing randomness only from
+/// `rng` (derived per-index by the caller). Mutates the deployment via
+/// public APIs, applies the matching delta(s), and checks equivalence at
+/// the operation boundary. `Err` is an oracle violation.
+fn apply_op(
+    rng: &mut DetRng,
+    d: &mut Deployment,
+    checker: &mut IncrementalChecker,
+) -> Result<(), String> {
+    let tenants = d.plan.tenants.len();
+    match rng.below(11) {
+        // Wipe a vswitch, then reinstall a random prefix of its rules —
+        // crash recovery that may stop partway.
+        0 => {
+            let v = rng.index(d.vswitches.len());
+            let dump = d.vswitches[v].sw.dump_rules();
+            d.vswitches[v].sw.clear();
+            checker.apply(&ConfigDelta::RulesWiped { vswitch: v });
+            let keep = rng.index(dump.len() + 1);
+            for (table, rule) in dump.into_iter().take(keep) {
+                d.vswitches[v]
+                    .sw
+                    .install(table, rule.clone())
+                    .map_err(|e| format!("reinstall failed: {e:?}"))?;
+                checker.apply(&ConfigDelta::RuleInstalled {
+                    vswitch: v,
+                    table,
+                    rule,
+                });
+            }
+            check_equiv(checker, d, "wipe+reinstall")
+        }
+        // Remove every rule carrying one cookie.
+        1 => {
+            let v = rng.index(d.vswitches.len());
+            let dump = d.vswitches[v].sw.dump_rules();
+            let Some((_, probe)) = dump.get(rng.index(dump.len().max(1))) else {
+                return Ok(());
+            };
+            let cookie = probe.cookie;
+            d.vswitches[v].sw.remove_by_cookie(cookie);
+            for (table, rule) in dump.into_iter().filter(|(_, r)| r.cookie == cookie) {
+                checker.apply(&ConfigDelta::RuleRemoved {
+                    vswitch: v,
+                    table,
+                    rule,
+                });
+            }
+            check_equiv(checker, d, "remove-by-cookie")
+        }
+        // Static MAC remove + reinstall (net zero, both paths).
+        2 => {
+            let r = d.plan.tenants[rng.index(tenants)].vf[0].0;
+            let statics = d.nic.pf(r.pf).map_err(|e| e.to_string())?.static_macs();
+            let Some((vlan, mac, port)) = statics.get(rng.index(statics.len().max(1))).cloned()
+            else {
+                return Ok(());
+            };
+            let pf_mut = d.nic.pf_mut(r.pf).map_err(|e| e.to_string())?;
+            pf_mut.remove_static_mac(vlan, mac);
+            checker.apply(&ConfigDelta::StaticRemoved {
+                pf: r.pf.0,
+                vlan,
+                mac,
+            });
+            check_equiv(checker, d, "static-remove")?;
+            let pf_mut = d.nic.pf_mut(r.pf).map_err(|e| e.to_string())?;
+            pf_mut.install_static_mac(vlan, mac, port);
+            checker.apply(&ConfigDelta::StaticInstalled {
+                pf: r.pf.0,
+                vlan,
+                mac,
+                port,
+            });
+            check_equiv(checker, d, "static-reinstall")
+        }
+        // VEB flush: statics rebuilt from VF configs.
+        3 => {
+            let r = d.plan.tenants[rng.index(tenants)].vf[0].0;
+            d.nic.pf_mut(r.pf).map_err(|e| e.to_string())?.flush_table();
+            checker.apply(&ConfigDelta::VebFlushed { pf: r.pf.0 });
+            check_equiv(checker, d, "veb-flush")
+        }
+        // Filter list rotated by one: same rules, new order.
+        4 => {
+            let r = d.plan.tenants[rng.index(tenants)].vf[0].0;
+            let mut filters = d
+                .nic
+                .pf(r.pf)
+                .map_err(|e| e.to_string())?
+                .filters()
+                .to_vec();
+            if filters.len() > 1 {
+                filters.rotate_left(1);
+            }
+            d.nic
+                .pf_mut(r.pf)
+                .map_err(|e| e.to_string())?
+                .set_filters(filters.clone());
+            checker.apply(&ConfigDelta::FiltersSet {
+                pf: r.pf.0,
+                filters,
+            });
+            check_equiv(checker, d, "filters-rotate")
+        }
+        // Liveness flap: no configuration change.
+        5 => {
+            let v = rng.index(d.vswitches.len());
+            checker.apply(&ConfigDelta::VswitchDown { vswitch: v });
+            checker.apply(&ConfigDelta::VswitchUp { vswitch: v });
+            check_equiv(checker, d, "liveness-flap")
+        }
+        // Move a random VF onto a random tenant's VLAN — sometimes another
+        // tenant's, deliberately creating cross-tenant reachability that
+        // both verifiers must report identically.
+        6 => {
+            let t = rng.index(tenants);
+            let vfs = &d.plan.tenants[t].vf;
+            let r = vfs[rng.index(vfs.len())].0;
+            let vlan = d.plan.tenants[rng.index(tenants)].vlan;
+            d.nic
+                .host_set_vf_vlan(r.pf, r.vf, Some(vlan))
+                .map_err(|e| e.to_string())?;
+            let delta = vf_delta(d, r)?;
+            checker.apply(&delta);
+            check_equiv(checker, d, "vf-vlan-move")
+        }
+        // Toggle spoof-check on a random VF.
+        7 => {
+            let t = rng.index(tenants);
+            let vfs = &d.plan.tenants[t].vf;
+            let r = vfs[rng.index(vfs.len())].0;
+            let cur = d
+                .nic
+                .pf(r.pf)
+                .map_err(|e| e.to_string())?
+                .vf(r.vf)
+                .map(|c| c.spoof_check)
+                .unwrap_or(true);
+            d.nic
+                .host_set_vf_spoofchk(r.pf, r.vf, !cur)
+                .map_err(|e| e.to_string())?;
+            let delta = vf_delta(d, r)?;
+            checker.apply(&delta);
+            check_equiv(checker, d, "spoofchk-toggle")
+        }
+        // Hostile static install: a VEB entry claiming some tenant's VLAN
+        // and an arbitrary MAC (possibly another tenant's gateway) for an
+        // arbitrary VF — the family that surfaced StaticHijack.
+        8 => {
+            let r = d.plan.tenants[rng.index(tenants)].vf[0].0;
+            let statics = d.nic.pf(r.pf).map_err(|e| e.to_string())?.static_macs();
+            let vlan = if rng.chance(0.8) {
+                d.plan.tenants[rng.index(tenants)].vlan
+            } else {
+                rng.below(4096) as u16
+            };
+            let mac = match statics.get(rng.index(statics.len().max(1))) {
+                Some((_, m, _)) if rng.chance(0.7) => *m,
+                _ => MacAddr::local(rng.below(1 << 16) as u32),
+            };
+            let port = NicPort::Vf(VfId(rng.below(8) as u8));
+            let pf_mut = d.nic.pf_mut(r.pf).map_err(|e| e.to_string())?;
+            pf_mut.install_static_mac(vlan, mac, port);
+            checker.apply(&ConfigDelta::StaticInstalled {
+                pf: r.pf.0,
+                vlan,
+                mac,
+                port,
+            });
+            check_equiv(checker, d, "hostile-static-install")
+        }
+        // Out-of-range deltas: indices no deployment has. The checker must
+        // treat them as no-ops and stay equivalent.
+        9 => {
+            checker.apply(&ConfigDelta::RulesWiped { vswitch: 99 });
+            checker.apply(&ConfigDelta::VebFlushed { pf: 99 });
+            checker.apply(&ConfigDelta::VswitchDown { vswitch: 77 });
+            checker.apply(&ConfigDelta::StaticRemoved {
+                pf: 99,
+                vlan: 1,
+                mac: MacAddr::local(1),
+            });
+            check_equiv(checker, d, "out-of-range-deltas")
+        }
+        // Hostile VF reconfiguration: re-address the MAC, optionally jump
+        // to another tenant's VLAN, optionally drop spoof checking.
+        _ => {
+            let t = rng.index(tenants);
+            let vfs = &d.plan.tenants[t].vf;
+            let r = vfs[rng.index(vfs.len())].0;
+            let cur = d
+                .nic
+                .pf(r.pf)
+                .map_err(|e| e.to_string())?
+                .vf(r.vf)
+                .cloned()
+                .ok_or("missing vf")?;
+            let cfg = mts_nic::VfConfig {
+                mac: if rng.chance(0.5) {
+                    MacAddr::local(rng.below(1 << 16) as u32)
+                } else {
+                    cur.mac
+                },
+                vlan: if rng.chance(0.5) {
+                    Some(d.plan.tenants[rng.index(tenants)].vlan)
+                } else {
+                    cur.vlan
+                },
+                spoof_check: rng.chance(0.7) && cur.spoof_check,
+                trusted: cur.trusted,
+            };
+            d.nic
+                .pf_mut(r.pf)
+                .map_err(|e| e.to_string())?
+                .configure_vf(r.vf, cfg.clone());
+            checker.apply(&ConfigDelta::VfConfigured {
+                pf: r.pf.0,
+                vf: r.vf.0,
+                cfg,
+            });
+            check_equiv(checker, d, "hostile-vf-reconfigure")
+        }
+    }
+}
+
+/// Replays the op subset `ops` of a stream case. Each op's randomness is
+/// derived from its index, so subsets replay deterministically.
+pub(crate) fn run_case(seed: u64, spec: DeploymentSpec, ops: &[u64]) -> Result<(), String> {
+    let base = DetRng::new(seed).derive("delta-stream");
+    let mut d = Controller::deploy(spec).map_err(|e| e.to_string())?;
+    let mut checker = IncrementalChecker::of_deployment(&d).map_err(|e| e.to_string())?;
+    check_equiv(&mut checker, &d, "construction")?;
+    for &op in ops {
+        let mut op_rng = base.clone().derive_indexed("op", op);
+        apply_op(&mut op_rng, &mut d, &mut checker)?;
+    }
+    Ok(())
+}
+
+/// Runs the delta-stream surface for `budget` cases.
+pub fn fuzz(rng: &mut DetRng, budget: u64) -> SurfaceStats {
+    let mut stats = SurfaceStats::new(Surface::Delta);
+    let matrix = mts_isocheck::shipped_matrix();
+    for i in 0..budget {
+        let seed = rng.derive_indexed("delta-case", i).below(u64::MAX);
+        let spec = matrix[(i as usize) % matrix.len()];
+        let all_ops: Vec<u64> = (0..OPS_PER_CASE as u64).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_case(seed, spec, &all_ops)));
+        match outcome {
+            Ok(Ok(())) => stats.accepted += 1,
+            Ok(Err(why)) => crash(&mut stats, seed, spec, &all_ops, why),
+            Err(_) => crash(
+                &mut stats,
+                seed,
+                spec,
+                &all_ops,
+                "panic in delta stream".to_string(),
+            ),
+        }
+        stats.cases += 1;
+    }
+    stats
+}
+
+/// Shrinks a failing stream to a minimal op-index subset and records it.
+fn crash(stats: &mut SurfaceStats, seed: u64, spec: DeploymentSpec, ops: &[u64], why: String) {
+    let minimized = shrink::shrink_set(ops, |subset| {
+        matches!(
+            catch_unwind(AssertUnwindSafe(|| run_case(seed, spec, subset))),
+            Ok(Err(_)) | Err(_)
+        )
+    });
+    let data = format!("seed={seed}\nspec={}\nops={minimized:?}", spec.label());
+    stats.crashers.push(Crasher {
+        surface: Surface::Delta,
+        note: why,
+        data: data.into_bytes(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_budget_runs_clean() {
+        let mut rng = DetRng::new(17);
+        let stats = fuzz(&mut rng, 6);
+        assert_eq!(stats.cases, 6);
+        assert!(stats.crashers.is_empty(), "{:?}", stats.crashers);
+        assert_eq!(stats.accepted, 6);
+    }
+
+    #[test]
+    fn op_subsets_replay_deterministically() {
+        let matrix = mts_isocheck::shipped_matrix();
+        let subset = [0u64, 3, 7];
+        let a = run_case(0xabcd, matrix[0], &subset).is_ok();
+        let b = run_case(0xabcd, matrix[0], &subset).is_ok();
+        assert_eq!(a, b);
+    }
+}

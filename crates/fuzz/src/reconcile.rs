@@ -1,0 +1,192 @@
+//! Fuzzing controller reconciliation: randomized out-of-band damage to a
+//! live world, repaired by [`mts_core::reconcile::reconcile`].
+//!
+//! Each case builds a world from the shipped matrix, captures the
+//! rendering of its verified isolation report as the baseline, then
+//! applies a random set of damage operations — wiped flow tables, flushed
+//! VEBs, stray statics and rules, cross-tenant VLAN moves, disabled
+//! spoof-checking. The oracle after repair:
+//!
+//! 1. a second `reconcile` pass reports zero churn (idempotence), and
+//! 2. the world's isolation report renders byte-identical to the
+//!    pre-damage baseline (reconciliation restores the verified config).
+//!
+//! Failures shrink to a minimal damage-op subset; each op draws from an
+//! index-derived rng so subsets replay deterministically.
+
+use crate::shrink;
+use crate::{Crasher, Surface, SurfaceStats};
+use mts_core::controller::Controller;
+use mts_core::reconcile::reconcile;
+use mts_core::runtime::{RuntimeCfg, World};
+use mts_core::DeploymentSpec;
+use mts_net::MacAddr;
+use mts_nic::{NicPort, PfId};
+use mts_sim::DetRng;
+use mts_vswitch::{Action, FlowMatch, FlowRule};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Damage ops per reconciliation case.
+const DAMAGE_PER_CASE: usize = 4;
+
+/// Applies damage op `idx`, drawing randomness only from `rng`.
+fn apply_damage(rng: &mut DetRng, w: &mut World) -> Result<(), String> {
+    let tenants = w.plan.tenants.len();
+    match rng.below(6) {
+        // Wipe a vswitch's flow tables (a crash that lost its rules).
+        0 => {
+            let v = rng.index(w.vswitches.len());
+            w.vswitches[v].inst.sw.clear();
+            w.vswitches[v].rules_dirty = true;
+            Ok(())
+        }
+        // Flush a VEB forwarding table.
+        1 => {
+            let pf = PfId(rng.below(2) as u8);
+            w.nic.pf_mut(pf).map_err(|e| e.to_string())?.flush_table();
+            Ok(())
+        }
+        // Stray static MAC entry appearing out of band.
+        2 => {
+            let pf = PfId(rng.below(2) as u8);
+            let vlan = if rng.chance(0.5) {
+                w.plan.tenants[rng.index(tenants)].vlan
+            } else {
+                rng.below(4096) as u16
+            };
+            w.nic
+                .pf_mut(pf)
+                .map_err(|e| e.to_string())?
+                .install_static_mac(
+                    vlan,
+                    MacAddr::local(0xbad0 + rng.below(16) as u32),
+                    NicPort::Wire,
+                );
+            Ok(())
+        }
+        // Stray flow rule with a cookie no controller program uses.
+        3 => {
+            let v = rng.index(w.vswitches.len());
+            let stray = FlowRule::new(
+                rng.below(8) as u16,
+                FlowMatch::default(),
+                vec![Action::Drop],
+            )
+            .with_cookie(0xdead_0000 + rng.below(256));
+            w.vswitches[v]
+                .inst
+                .sw
+                .install(0, stray)
+                .map_err(|e| format!("stray install: {e:?}"))?;
+            Ok(())
+        }
+        // Cross-tenant VLAN move on a random VF.
+        4 => {
+            let t = rng.index(tenants);
+            let vfs = &w.plan.tenants[t].vf;
+            let r = vfs[rng.index(vfs.len())].0;
+            let vlan = w.plan.tenants[rng.index(tenants)].vlan;
+            w.nic
+                .host_set_vf_vlan(r.pf, r.vf, Some(vlan))
+                .map_err(|e| e.to_string())
+        }
+        // Spoof checking silently disabled on a random VF.
+        _ => {
+            let t = rng.index(tenants);
+            let vfs = &w.plan.tenants[t].vf;
+            let r = vfs[rng.index(vfs.len())].0;
+            w.nic
+                .host_set_vf_spoofchk(r.pf, r.vf, false)
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Replays the damage subset `ops` of a case. `Err` is an oracle
+/// violation.
+pub(crate) fn run_case(seed: u64, spec: DeploymentSpec, ops: &[u64]) -> Result<(), String> {
+    let d = Controller::deploy(spec).map_err(|e| e.to_string())?;
+    let mut w = World::new(d, RuntimeCfg::for_spec(&spec), seed);
+    let baseline = mts_isocheck::verify_world(&w)
+        .map_err(|e| e.to_string())
+        .map(|r| format!("{r}"))?;
+
+    let base = DetRng::new(seed).derive("reconcile-damage");
+    for &op in ops {
+        let mut op_rng = base.clone().derive_indexed("damage", op);
+        apply_damage(&mut op_rng, &mut w)?;
+    }
+
+    let _repair = reconcile(&mut w);
+    let second = reconcile(&mut w);
+    if second.churn() != 0 {
+        return Err(format!(
+            "reconcile not idempotent: second pass churn {} ({second})",
+            second.churn()
+        ));
+    }
+    let after = mts_isocheck::verify_world(&w)
+        .map_err(|e| e.to_string())
+        .map(|r| format!("{r}"))?;
+    if after != baseline {
+        return Err(format!(
+            "reconcile did not restore the verified config:\n--- baseline ---\n{baseline}\n--- after ---\n{after}"
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the reconciliation surface for `budget` cases.
+pub fn fuzz(rng: &mut DetRng, budget: u64) -> SurfaceStats {
+    let mut stats = SurfaceStats::new(Surface::Reconcile);
+    let matrix = mts_isocheck::shipped_matrix();
+    for i in 0..budget {
+        let seed = rng.derive_indexed("reconcile-case", i).below(u64::MAX);
+        let spec = matrix[(i as usize) % matrix.len()];
+        let all_ops: Vec<u64> = (0..DAMAGE_PER_CASE as u64).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_case(seed, spec, &all_ops)));
+        match outcome {
+            Ok(Ok(())) => stats.accepted += 1,
+            Ok(Err(why)) => crash(&mut stats, seed, spec, &all_ops, why),
+            Err(_) => crash(
+                &mut stats,
+                seed,
+                spec,
+                &all_ops,
+                "panic in reconcile case".to_string(),
+            ),
+        }
+        stats.cases += 1;
+    }
+    stats
+}
+
+/// Shrinks a failing case to a minimal damage subset and records it.
+fn crash(stats: &mut SurfaceStats, seed: u64, spec: DeploymentSpec, ops: &[u64], why: String) {
+    let minimized = shrink::shrink_set(ops, |subset| {
+        matches!(
+            catch_unwind(AssertUnwindSafe(|| run_case(seed, spec, subset))),
+            Ok(Err(_)) | Err(_)
+        )
+    });
+    let data = format!("seed={seed}\nspec={}\nops={minimized:?}", spec.label());
+    stats.crashers.push(Crasher {
+        surface: Surface::Reconcile,
+        note: why,
+        data: data.into_bytes(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_budget_runs_clean() {
+        let mut rng = DetRng::new(23);
+        let stats = fuzz(&mut rng, 4);
+        assert_eq!(stats.cases, 4);
+        assert!(stats.crashers.is_empty(), "{:?}", stats.crashers);
+        assert_eq!(stats.accepted, 4);
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic minimization of failing inputs.
+//!
+//! A ddmin-style reducer: repeatedly try structurally smaller variants of
+//! a failing input, keep any variant that still fails, and stop at a local
+//! minimum. Every step is a pure function of the input and the predicate —
+//! no randomness — so the same crasher always minimizes to the same case,
+//! which is what makes the pinned corpus reproducible.
+//!
+//! Three reducers cover the fuzzer's input shapes: raw bytes (wire cases),
+//! line-oriented text (fault plans), and op-index sets (delta streams and
+//! reconciliation damage lists).
+
+/// Upper bound on predicate evaluations per reduction, so a pathological
+/// predicate cannot stall a campaign.
+const MAX_PROBES: usize = 2_000;
+
+/// Minimizes a byte string under `fails` (which must hold for `data`).
+///
+/// Passes: chunk deletion at halving granularity (classic ddmin), then a
+/// zeroing sweep that canonicalizes surviving bytes where possible.
+pub fn shrink_bytes(data: &[u8], fails: impl Fn(&[u8]) -> bool) -> Vec<u8> {
+    let mut cur = data.to_vec();
+    let mut probes = 0usize;
+    // Chunk-deletion passes.
+    let mut chunk = (cur.len() / 2).max(1);
+    while chunk >= 1 && probes < MAX_PROBES {
+        let mut offset = 0usize;
+        let mut progressed = false;
+        while offset < cur.len() && probes < MAX_PROBES {
+            let end = (offset + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - offset));
+            candidate.extend_from_slice(&cur[..offset]);
+            candidate.extend_from_slice(&cur[end..]);
+            probes += 1;
+            if !candidate.is_empty() && fails(&candidate) {
+                cur = candidate;
+                progressed = true;
+                // Re-test the same offset against the shorter input.
+            } else {
+                offset += chunk;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+    // Zeroing sweep: canonicalize bytes that are not load-bearing.
+    let mut i = 0usize;
+    while i < cur.len() && probes < MAX_PROBES {
+        if cur[i] != 0 {
+            let saved = cur[i];
+            cur[i] = 0;
+            probes += 1;
+            if !fails(&cur) {
+                cur[i] = saved;
+            }
+        }
+        i += 1;
+    }
+    cur
+}
+
+/// Minimizes line-oriented text under `fails` (which must hold for
+/// `text`): drops whole lines ddmin-style, then trims trailing tokens off
+/// the surviving lines.
+pub fn shrink_lines(text: &str, fails: impl Fn(&str) -> bool) -> String {
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let mut probes = 0usize;
+    // Line-deletion passes.
+    let mut chunk = (lines.len() / 2).max(1);
+    while chunk >= 1 && probes < MAX_PROBES {
+        let mut offset = 0usize;
+        let mut progressed = false;
+        while offset < lines.len() && probes < MAX_PROBES {
+            let end = (offset + chunk).min(lines.len());
+            let mut candidate = lines.clone();
+            candidate.drain(offset..end);
+            probes += 1;
+            if !candidate.is_empty() && fails(&candidate.join("\n")) {
+                lines = candidate;
+                progressed = true;
+            } else {
+                offset += chunk;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+    // Token trimming: drop trailing whitespace-separated tokens per line.
+    let mut i = 0usize;
+    while i < lines.len() && probes < MAX_PROBES {
+        loop {
+            let tokens: Vec<&str> = lines[i].split_whitespace().collect();
+            if tokens.len() <= 1 {
+                break;
+            }
+            let shorter = tokens[..tokens.len() - 1].join(" ");
+            let mut candidate = lines.clone();
+            candidate[i] = shorter.clone();
+            probes += 1;
+            if probes >= MAX_PROBES || !fails(&candidate.join("\n")) {
+                break;
+            }
+            lines[i] = shorter;
+        }
+        i += 1;
+    }
+    lines.join("\n")
+}
+
+/// Minimizes a set of items (op indices, damage steps) under `fails`
+/// (which must hold for the full set). Order is preserved.
+pub fn shrink_set<T: Clone>(items: &[T], fails: impl Fn(&[T]) -> bool) -> Vec<T> {
+    let mut cur = items.to_vec();
+    let mut probes = 0usize;
+    let mut chunk = (cur.len() / 2).max(1);
+    while chunk >= 1 && probes < MAX_PROBES {
+        let mut offset = 0usize;
+        let mut progressed = false;
+        while offset < cur.len() && probes < MAX_PROBES {
+            let end = (offset + chunk).min(cur.len());
+            let mut candidate = cur.clone();
+            candidate.drain(offset..end);
+            probes += 1;
+            if !candidate.is_empty() && fails(&candidate) {
+                cur = candidate;
+                progressed = true;
+            } else {
+                offset += chunk;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_shrink_to_the_failing_core() {
+        // Fails whenever it contains the byte 0x42.
+        let data: Vec<u8> = (0..100u8).collect();
+        let out = shrink_bytes(&data, |b| b.contains(&0x42));
+        assert_eq!(out, vec![0x42]);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let data: Vec<u8> = (0..97u8).rev().collect();
+        let f = |b: &[u8]| b.iter().filter(|&&x| x > 50).count() >= 2;
+        assert_eq!(shrink_bytes(&data, f), shrink_bytes(&data, f));
+    }
+
+    #[test]
+    fn lines_shrink_to_the_failing_line() {
+        let text = "alpha one\nbravo two three\ncharlie";
+        let out = shrink_lines(text, |t| t.contains("bravo"));
+        assert_eq!(out, "bravo");
+    }
+
+    #[test]
+    fn sets_shrink_to_the_failing_pair() {
+        let items: Vec<u32> = (0..40).collect();
+        let out = shrink_set(&items, |s| s.contains(&7) && s.contains(&31));
+        assert_eq!(out, vec![7, 31]);
+    }
+
+    #[test]
+    fn non_failing_bytes_are_left_alone_size_wise() {
+        // Predicate that always fails keeps exactly one byte (minimal).
+        let out = shrink_bytes(&[1, 2, 3, 4], |_| true);
+        assert_eq!(out, vec![0]);
+    }
+}

@@ -1,0 +1,279 @@
+//! The committed crasher corpus (`tests/corpus/*.case`) replayed as
+//! ordinary regression tests.
+//!
+//! The corpus is generated deterministically by `rebless_seed_corpus`
+//! (`#[ignore]`d; run `cargo test -p mts-fuzz --test corpus_replay --
+//! --ignored` to regenerate after an intentional codec change). Each
+//! case pins either a byte/text payload with its disposition (`accept`
+//! or `reject:<label>`) or a delta/reconcile stream (seed + op subset)
+//! that must run clean. `committed_corpus_replays_green` is the CI gate.
+
+use mts_fuzz::corpus::{self, CorpusCase};
+use mts_fuzz::{plan, wire, CaseOutcome, Surface};
+use mts_net::wire as netwire;
+use mts_net::{Frame, Ipv4Packet, MacAddr, Payload, Transport, UdpDatagram, UdpPayload};
+use mts_net::{Vni, VXLAN_UDP_PORT};
+use std::net::Ipv4Addr;
+
+/// Wraps `inner` in one VXLAN encapsulation layer.
+fn vxlan_wrap(inner: Frame, vni: u32) -> Frame {
+    Frame::new(
+        MacAddr::local(0x900),
+        MacAddr::local(0x901),
+        Payload::Ipv4(Ipv4Packet {
+            src: Ipv4Addr::new(192, 0, 2, 1),
+            dst: Ipv4Addr::new(192, 0, 2, 2),
+            ttl: 64,
+            tos: 0,
+            transport: Transport::Udp(UdpDatagram {
+                sport: 49152,
+                dport: VXLAN_UDP_PORT,
+                payload: UdpPayload::Vxlan {
+                    vni: Vni::new(vni),
+                    inner: Box::new(inner),
+                },
+            }),
+        }),
+    )
+}
+
+fn plain_udp() -> Frame {
+    Frame::udp_data(
+        MacAddr::local(0x10),
+        MacAddr::local(0x20),
+        Ipv4Addr::new(10, 0, 0, 2),
+        Ipv4Addr::new(10, 0, 1, 2),
+        40000,
+        7,
+        200,
+    )
+}
+
+/// Recomputes the trailing FCS so header corruption survives the CRC
+/// gate into the deep parsers.
+fn refix_fcs(bytes: &mut [u8]) {
+    let body = bytes.len() - 4;
+    let fcs = netwire::crc32(&bytes[..body]);
+    bytes[body..].copy_from_slice(&fcs.to_le_bytes());
+}
+
+/// The disposition the replay gate pins, computed from the live oracle
+/// at bless time.
+fn wire_disposition(bytes: &[u8]) -> String {
+    match wire::check_bytes(bytes) {
+        CaseOutcome::Accepted => "accept".to_string(),
+        CaseOutcome::Rejected(label) => format!("reject:{label}"),
+        CaseOutcome::Violation(why) => panic!("seed corpus case violates invariants: {why}"),
+    }
+}
+
+fn plan_disposition(text: &str) -> String {
+    match plan::check_text(text) {
+        CaseOutcome::Accepted => "accept".to_string(),
+        CaseOutcome::Rejected(label) => format!("reject:{label}"),
+        CaseOutcome::Violation(why) => panic!("seed corpus case violates invariants: {why}"),
+    }
+}
+
+fn wire_case(name: &str, note: &str, bytes: Vec<u8>) -> CorpusCase {
+    CorpusCase {
+        name: name.to_string(),
+        surface: Surface::Wire,
+        note: note.to_string(),
+        expect: wire_disposition(&bytes),
+        data: bytes,
+    }
+}
+
+fn plan_case(name: &str, note: &str, text: &str) -> CorpusCase {
+    CorpusCase {
+        name: name.to_string(),
+        surface: Surface::Plan,
+        note: note.to_string(),
+        expect: plan_disposition(text),
+        data: text.as_bytes().to_vec(),
+    }
+}
+
+fn stream_case(name: &str, surface: Surface, note: &str, seed: u64, ops: usize) -> CorpusCase {
+    let spec = mts_isocheck::shipped_matrix()[0];
+    let indices: Vec<u64> = (0..ops as u64).collect();
+    CorpusCase {
+        name: name.to_string(),
+        surface,
+        note: note.to_string(),
+        expect: "clean".to_string(),
+        data: format!("seed={seed}\nspec={}\nops={indices:?}", spec.label()).into_bytes(),
+    }
+}
+
+/// The deterministic seed corpus: the interesting corners each surface's
+/// hardening covered, pinned so they can never silently regress.
+fn seed_corpus() -> Vec<CorpusCase> {
+    let mut cases = Vec::new();
+
+    // Wire: VXLAN nesting at and past the decap cap.
+    let mut nested = plain_udp();
+    for i in 0..netwire::MAX_ENCAP_DEPTH {
+        nested = vxlan_wrap(nested, 100 + i as u32);
+    }
+    cases.push(wire_case(
+        "wire-vxlan-at-depth-cap",
+        "vxlan nesting exactly at the decap cap must parse",
+        netwire::serialize(&nested),
+    ));
+    cases.push(wire_case(
+        "wire-vxlan-past-depth-cap",
+        "vxlan nesting one past the decap cap is a typed decap-bomb reject",
+        netwire::serialize(&vxlan_wrap(nested, 999)),
+    ));
+
+    // Wire: a sub-minimum inner frame under VXLAN — the encapsulated
+    // length-consistency bug the fuzzer surfaced (serialize_without_fcs
+    // emitted unpadded bytes, so the outer IPv4/UDP lengths disagreed).
+    let tiny = Frame::new(
+        MacAddr::local(0x30),
+        MacAddr::local(0x31),
+        Payload::Raw {
+            ethertype: 0x88b5,
+            len: 0,
+        },
+    );
+    cases.push(wire_case(
+        "wire-vxlan-subminimum-inner",
+        "vxlan around a sub-64-byte inner frame: encap pads to the ethernet minimum",
+        netwire::serialize(&vxlan_wrap(tiny, 7)),
+    ));
+
+    // Wire: truncation families.
+    cases.push(wire_case(
+        "wire-truncated-runt",
+        "a 10-byte runt cannot carry an ethernet header",
+        netwire::serialize(&plain_udp())[..10].to_vec(),
+    ));
+    cases.push(wire_case(
+        "wire-truncated-below-minimum",
+        "one byte short of the 64-byte minimum frame",
+        netwire::serialize(&plain_udp())[..63].to_vec(),
+    ));
+
+    // Wire: corruption caught by the CRC gate.
+    let mut bad_fcs = netwire::serialize(&plain_udp());
+    bad_fcs[20] ^= 0xff;
+    cases.push(wire_case(
+        "wire-bad-fcs",
+        "body corruption without recomputing the trailing checksum",
+        bad_fcs,
+    ));
+
+    // Wire: corruption that survives the CRC gate into the header
+    // parsers (the refix-FCS mutation family).
+    let mut refixed = netwire::serialize(&plain_udp());
+    refixed[17] ^= 0x40; // IPv4 total-length high bits
+    refix_fcs(&mut refixed);
+    cases.push(wire_case(
+        "wire-refixed-ipv4-length",
+        "corrupt ipv4 total length with a recomputed fcs reaches the deep parser",
+        refixed,
+    ));
+    let mut refixed_udp = netwire::serialize(&plain_udp());
+    refixed_udp[39] ^= 0x80; // inside the UDP header
+    refix_fcs(&mut refixed_udp);
+    cases.push(wire_case(
+        "wire-refixed-udp-header",
+        "corrupt udp header with a recomputed fcs",
+        refixed_udp,
+    ));
+
+    // Plan: the duration-overflow guard and grammar-level rejects.
+    cases.push(plan_case(
+        "plan-duration-overflow",
+        "a duration that overflows u64 nanoseconds is a typed parse error",
+        "@99999999999s crash vswitch=0",
+    ));
+    cases.push(plan_case(
+        "plan-missing-at",
+        "an event line without the @time prefix",
+        "1ms crash vswitch=0",
+    ));
+    cases.push(plan_case(
+        "plan-junk-heavy",
+        "unknown verbs and broken key=value pairs",
+        "@1ms explode vswitch=0\n@2ms crash vswitch",
+    ));
+    cases.push(plan_case(
+        "plan-valid-all-verbs",
+        "every verb of the grammar in one plan, with comments and blanks",
+        "# full grammar\n@1ms crash vswitch=0 crashloop=2\n@2ms hang vswitch=1 heal=5ms\n\
+         @3ms slow vswitch=0 factor=4 heal=5ms\n@4ms flush-veb pf=1\n@5ms wipe-flows vswitch=0\n\
+         @6ms lose-rules vswitch=0 fraction=0.5\n@7ms link-flap pf=1 down=2ms\n\
+         @8ms vhost-stall tenant=2 stall=3ms\n\n@9ms controller-loss down=20ms",
+    ));
+
+    // Streams: hostile churn that must stay equivalent/idempotent.
+    cases.push(stream_case(
+        "delta-hostile-stream",
+        Surface::Delta,
+        "12 ops of hostile churn (static hijacks, vf reconfig, out-of-range deltas) stay equivalent",
+        0x5117,
+        12,
+    ));
+    cases.push(stream_case(
+        "reconcile-damage-stream",
+        Surface::Reconcile,
+        "4 damage ops repaired idempotently back to the verified config",
+        0x5117,
+        4,
+    ));
+    cases
+}
+
+/// Regenerates the committed corpus. Deterministic: running it twice
+/// writes byte-identical files.
+#[test]
+#[ignore = "writes tests/corpus/; run explicitly after intentional codec changes"]
+fn rebless_seed_corpus() {
+    let dir = corpus::corpus_dir();
+    for case in seed_corpus() {
+        let path = corpus::save_into(&dir, &case).expect("write corpus case");
+        assert!(path.exists());
+    }
+}
+
+#[test]
+fn seed_corpus_is_deterministic() {
+    let a: Vec<String> = seed_corpus().iter().map(corpus::encode).collect();
+    let b: Vec<String> = seed_corpus().iter().map(corpus::encode).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn committed_corpus_replays_green() {
+    let cases = corpus::load_all().expect("corpus must load");
+    assert!(
+        cases.len() >= 10,
+        "committed corpus unexpectedly small: {} cases",
+        cases.len()
+    );
+    let mut failures = Vec::new();
+    for case in &cases {
+        if let Err(e) = corpus::replay(case) {
+            failures.push(e);
+        }
+    }
+    assert!(failures.is_empty(), "corpus replay failures: {failures:#?}");
+}
+
+#[test]
+fn committed_corpus_matches_the_seed_set() {
+    // The commit must stay in sync with the generator, so a codec change
+    // cannot land without re-blessing (and re-reviewing) the corpus.
+    let committed = corpus::load_all().expect("corpus must load");
+    let generated = seed_corpus();
+    for g in &generated {
+        let Some(c) = committed.iter().find(|c| c.name == g.name) else {
+            panic!("generated case {} missing from committed corpus", g.name);
+        };
+        assert_eq!(c, g, "committed case {} differs from generator", g.name);
+    }
+}

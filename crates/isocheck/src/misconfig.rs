@@ -7,7 +7,7 @@
 
 use crate::report::{VerifyReport, ViolationKind, WarningKind};
 use mts_core::controller::Deployment;
-use mts_nic::{FilterAction, FilterRule, NicError, PortClass};
+use mts_nic::{FilterAction, FilterRule, NicError, NicPort, PortClass};
 
 /// One seedable misconfiguration.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -23,14 +23,23 @@ pub enum Misconfig {
     /// Characteristic verdict: envelope breach (plus shadowed-filter
     /// warnings).
     BroadVebAllow,
+    /// A poisoned static MAC entry redirects a victim tenant's
+    /// `(vlan, mac)` pair to another tenant's VF — the embedded switch
+    /// forwards purely on the table entry with no egress VLAN-membership
+    /// check, so the hijacked traffic is delivered across the tenant
+    /// boundary. Found by the delta-stream fuzzer (`mts-fuzz`) mutating
+    /// `StaticInstalled` deltas; promoted here as a negative control.
+    /// Characteristic verdict: cross-tenant reach.
+    StaticHijack,
 }
 
 impl Misconfig {
     /// All variants.
-    pub const ALL: [Misconfig; 3] = [
+    pub const ALL: [Misconfig; 4] = [
         Misconfig::VlanReuse,
         Misconfig::SpoofCheckOff,
         Misconfig::BroadVebAllow,
+        Misconfig::StaticHijack,
     ];
 
     /// Short label.
@@ -39,6 +48,7 @@ impl Misconfig {
             Misconfig::VlanReuse => "vlan-reuse",
             Misconfig::SpoofCheckOff => "spoofchk-off",
             Misconfig::BroadVebAllow => "broad-veb-allow",
+            Misconfig::StaticHijack => "static-hijack",
         }
     }
 
@@ -82,6 +92,41 @@ impl Misconfig {
                     r.pf, r.vf
                 ))
             }
+            Misconfig::StaticHijack => {
+                let (victim, vmac, attacker) = {
+                    let t0 = &d.plan.tenants[0];
+                    let t1 = &d.plan.tenants[1];
+                    (t0.vf[0].0, t0.vf[0].1, t1.vf[0].0)
+                };
+                let vlan = d
+                    .nic
+                    .pf(victim.pf)?
+                    .vf(victim.vf)
+                    .and_then(|c| c.vlan)
+                    .unwrap_or(0);
+                // The victim's next hop on its VLAN: the static entry that
+                // is neither the victim VF itself nor the wire — i.e. the
+                // vswitch in-out (gateway) the security filters whitelist.
+                // Poisoning the victim's *own* MAC would be stopped by the
+                // dst whitelist; poisoning the gateway MAC hijacks every
+                // frame the tenant is allowed to send.
+                let gw = d
+                    .nic
+                    .pf(victim.pf)?
+                    .static_macs()
+                    .into_iter()
+                    .find(|(v, m, p)| *v == vlan && *m != vmac && matches!(p, NicPort::Vf(_)))
+                    .map(|(_, m, _)| m)
+                    .unwrap_or(vmac);
+                d.nic
+                    .pf_mut(victim.pf)?
+                    .install_static_mac(vlan, gw, NicPort::Vf(attacker.vf));
+                Ok(format!(
+                    "static MAC ({vlan}, {gw}) — tenant 0's gateway — poisoned to \
+                     point at tenant 1 VF {}/{}",
+                    victim.pf, attacker.vf
+                ))
+            }
         }
     }
 
@@ -105,6 +150,9 @@ impl Misconfig {
                     .any(|w| w.kind == WarningKind::ShadowedNicFilter && w.witness.is_some());
                 breach && shadowed
             }
+            Misconfig::StaticHijack => report.violations.iter().any(|v| {
+                matches!(v.kind, ViolationKind::CrossTenantReach { .. }) && v.witness.is_some()
+            }),
         }
     }
 }

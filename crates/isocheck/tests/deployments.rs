@@ -92,6 +92,25 @@ fn broad_veb_allow_is_flagged_with_witness() {
 }
 
 #[test]
+fn static_hijack_is_flagged_with_witness() {
+    // Fuzz-derived: a poisoned static MAC entry pointing a victim
+    // (vlan, mac) pair at another tenant's VF crosses the tenant boundary
+    // (the VEB forwards on the table entry with no egress membership
+    // check). Promoted from the mts-fuzz delta-stream surface.
+    let mut d = Controller::deploy(l1(Scenario::P2v)).expect("deploys");
+    Misconfig::StaticHijack.seed(&mut d).expect("seeds");
+    let r = verify(&d).expect("verifies");
+    assert!(!r.is_clean());
+    assert!(Misconfig::StaticHijack.detected_in(&r), "{r}");
+    let v = r
+        .violations
+        .iter()
+        .find(|v| matches!(v.kind, ViolationKind::CrossTenantReach { .. }))
+        .expect("cross-tenant violation");
+    assert!(v.witness.is_some(), "witness replays concretely: {v:?}");
+}
+
+#[test]
 fn misconfigs_have_distinct_characteristic_verdicts() {
     // Each seeded misconfiguration is detected by its own verdict, and a
     // clean deployment triggers none of them.

@@ -20,6 +20,14 @@ use crate::vxlan::{Vni, VXLAN_UDP_PORT};
 use std::fmt;
 use std::net::Ipv4Addr;
 
+/// Maximum VXLAN nesting depth the parser will follow.
+///
+/// Each level of encapsulation costs a full Ethernet+IPv4+UDP+VXLAN header
+/// stack (~50 bytes), so legitimate traffic never nests more than once or
+/// twice; an attacker-crafted "decap bomb" could otherwise drive unbounded
+/// recursion. Deeper stacks parse as [`WireError::EncapTooDeep`].
+pub const MAX_ENCAP_DEPTH: usize = 4;
+
 /// Errors produced while parsing wire bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -33,6 +41,8 @@ pub enum WireError {
     BadArp,
     /// A length field was inconsistent with the buffer.
     BadLength(&'static str),
+    /// VXLAN nesting exceeded [`MAX_ENCAP_DEPTH`].
+    EncapTooDeep,
 }
 
 impl fmt::Display for WireError {
@@ -43,6 +53,9 @@ impl fmt::Display for WireError {
             WireError::BadFcs => write!(f, "bad Ethernet FCS"),
             WireError::BadArp => write!(f, "unsupported ARP packet"),
             WireError::BadLength(what) => write!(f, "inconsistent length in {what}"),
+            WireError::EncapTooDeep => {
+                write!(f, "vxlan nesting deeper than {MAX_ENCAP_DEPTH}")
+            }
         }
     }
 }
@@ -99,6 +112,14 @@ pub fn serialize(frame: &Frame) -> Vec<u8> {
 }
 
 /// Serializes a frame without its FCS (the form VXLAN encapsulates).
+///
+/// The 60-byte pre-FCS minimum is enforced here, not just in
+/// [`serialize`]: an encapsulated inner frame is a *complete* Ethernet
+/// frame, padded to the minimum before the tunnel swallowed it, and
+/// [`Frame::len_without_fcs`] declares that clamped size. Skipping the
+/// pad here would make the outer IPv4/UDP length fields disagree with
+/// the emitted bytes for sub-minimum inner frames (found by fuzzing the
+/// build→parse roundtrip).
 pub fn serialize_without_fcs(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::with_capacity(frame.wire_len() as usize);
     out.extend_from_slice(&frame.dst.octets());
@@ -114,6 +135,10 @@ pub fn serialize_without_fcs(frame: &Frame) -> Vec<u8> {
         Payload::Raw { len, .. } => out.extend(std::iter::repeat_n(0, *len as usize)),
     }
     out.extend(std::iter::repeat_n(0, frame.pad as usize));
+    let min = (sizes::MIN_FRAME - sizes::FCS) as usize;
+    if out.len() < min {
+        out.resize(min, 0);
+    }
     out
 }
 
@@ -216,13 +241,22 @@ pub fn parse(bytes: &[u8]) -> Result<Frame, WireError> {
 
 /// Parses wire bytes that carry no FCS (VXLAN inner frames).
 pub fn parse_without_fcs(body: &[u8]) -> Result<Frame, WireError> {
+    parse_at_depth(body, 0)
+}
+
+/// Reads six bytes at `at` as a MAC address. Callers bounds-check first;
+/// the explicit indexing keeps the untrusted-input path free of
+/// `unwrap`/`expect`.
+fn mac_at(b: &[u8], at: usize) -> MacAddr {
+    MacAddr::new([b[at], b[at + 1], b[at + 2], b[at + 3], b[at + 4], b[at + 5]])
+}
+
+fn parse_at_depth(body: &[u8], depth: usize) -> Result<Frame, WireError> {
     if body.len() < 14 {
         return Err(WireError::Truncated("ethernet header"));
     }
-    // lint:allow(no-unwrap): 6-byte slice of a length-checked buffer
-    let dst = MacAddr::new(body[0..6].try_into().expect("slice length checked"));
-    // lint:allow(no-unwrap): 6-byte slice of a length-checked buffer
-    let src = MacAddr::new(body[6..12].try_into().expect("slice length checked"));
+    let dst = mac_at(body, 0);
+    let src = mac_at(body, 6);
     let mut ethertype = u16::from_be_bytes([body[12], body[13]]);
     let mut offset = 14;
     let mut vlan = None;
@@ -241,7 +275,7 @@ pub fn parse_without_fcs(body: &[u8]) -> Result<Frame, WireError> {
             (Payload::Arp(a), 28)
         }
         EtherType::Ipv4 => {
-            let (ip, used) = parse_ipv4(rest)?;
+            let (ip, used) = parse_ipv4(rest, depth)?;
             (Payload::Ipv4(ip), used)
         }
         _ => (
@@ -271,16 +305,14 @@ fn parse_arp(b: &[u8]) -> Result<ArpPacket, WireError> {
     let op = ArpOp::from_u16(u16::from_be_bytes([b[6], b[7]])).ok_or(WireError::BadArp)?;
     Ok(ArpPacket {
         op,
-        // lint:allow(no-unwrap): 6-byte slice of a length-checked buffer
-        sender_mac: MacAddr::new(b[8..14].try_into().expect("length checked")),
+        sender_mac: mac_at(b, 8),
         sender_ip: Ipv4Addr::new(b[14], b[15], b[16], b[17]),
-        // lint:allow(no-unwrap): 6-byte slice of a length-checked buffer
-        target_mac: MacAddr::new(b[18..24].try_into().expect("length checked")),
+        target_mac: mac_at(b, 18),
         target_ip: Ipv4Addr::new(b[24], b[25], b[26], b[27]),
     })
 }
 
-fn parse_ipv4(b: &[u8]) -> Result<(Ipv4Packet, usize), WireError> {
+fn parse_ipv4(b: &[u8], depth: usize) -> Result<(Ipv4Packet, usize), WireError> {
     if b.len() < 20 {
         return Err(WireError::Truncated("ipv4 header"));
     }
@@ -301,7 +333,7 @@ fn parse_ipv4(b: &[u8]) -> Result<(Ipv4Packet, usize), WireError> {
     let dst = Ipv4Addr::new(b[16], b[17], b[18], b[19]);
     let body = &b[20..total_len];
     let transport = match proto {
-        IpProto::Udp => Transport::Udp(parse_udp(body)?),
+        IpProto::Udp => Transport::Udp(parse_udp(body, depth)?),
         IpProto::Tcp => Transport::Tcp(parse_tcp(body)?),
         other => Transport::Raw {
             proto: other,
@@ -320,7 +352,7 @@ fn parse_ipv4(b: &[u8]) -> Result<(Ipv4Packet, usize), WireError> {
     ))
 }
 
-fn parse_udp(b: &[u8]) -> Result<UdpDatagram, WireError> {
+fn parse_udp(b: &[u8], depth: usize) -> Result<UdpDatagram, WireError> {
     if b.len() < 8 {
         return Err(WireError::Truncated("udp header"));
     }
@@ -332,6 +364,9 @@ fn parse_udp(b: &[u8]) -> Result<UdpDatagram, WireError> {
     }
     let payload_bytes = &b[8..len];
     let payload = if dport == VXLAN_UDP_PORT && payload_bytes.len() >= 8 {
+        if depth >= MAX_ENCAP_DEPTH {
+            return Err(WireError::EncapTooDeep);
+        }
         let vni = Vni::new(
             u32::from_be_bytes([
                 payload_bytes[4],
@@ -340,7 +375,7 @@ fn parse_udp(b: &[u8]) -> Result<UdpDatagram, WireError> {
                 payload_bytes[7],
             ]) >> 8,
         );
-        let inner = parse_without_fcs(&payload_bytes[8..])?;
+        let inner = parse_at_depth(&payload_bytes[8..], depth + 1)?;
         UdpPayload::Vxlan {
             vni,
             inner: Box::new(inner),
@@ -548,6 +583,47 @@ mod tests {
             },
             other => panic!("expected UDP, got {other:?}"),
         }
+    }
+
+    fn vxlan_wrap(inner: Frame, vni: u32) -> Frame {
+        Frame::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Payload::Ipv4(Ipv4Packet {
+                src: Ipv4Addr::new(172, 16, 0, 1),
+                dst: Ipv4Addr::new(172, 16, 0, 2),
+                ttl: 64,
+                tos: 0,
+                transport: Transport::Udp(UdpDatagram {
+                    sport: 50000,
+                    dport: VXLAN_UDP_PORT,
+                    payload: UdpPayload::Vxlan {
+                        vni: Vni::new(vni),
+                        inner: Box::new(inner),
+                    },
+                }),
+            }),
+        )
+    }
+
+    #[test]
+    fn nested_vxlan_parses_up_to_the_depth_cap() {
+        let mut f = Frame::udp_data(
+            MacAddr::local(10),
+            MacAddr::local(11),
+            Ipv4Addr::new(192, 168, 0, 1),
+            Ipv4Addr::new(192, 168, 0, 2),
+            1234,
+            80,
+            16,
+        );
+        for i in 0..MAX_ENCAP_DEPTH {
+            f = vxlan_wrap(f, i as u32 + 1);
+        }
+        assert!(parse(&serialize(&f)).is_ok());
+        // One more wrap crosses the cap.
+        f = vxlan_wrap(f, 99);
+        assert_eq!(parse(&serialize(&f)), Err(WireError::EncapTooDeep));
     }
 
     #[test]

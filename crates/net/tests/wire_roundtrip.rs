@@ -1,8 +1,9 @@
 //! Property tests: the wire codec round-trips arbitrary structural frames.
 
+use mts_net::wire::{WireError, MAX_ENCAP_DEPTH};
 use mts_net::{
     parse, serialize, ArpPacket, Frame, IpProto, Ipv4Packet, MacAddr, Payload, TcpFlags,
-    TcpSegment, Transport, UdpDatagram, UdpPayload,
+    TcpSegment, Transport, UdpDatagram, UdpPayload, Vni, VXLAN_UDP_PORT,
 };
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -90,6 +91,46 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         })
 }
 
+/// Wraps `inner` in `depth` layers of VXLAN encapsulation.
+fn vxlan_nest(inner: Frame, depth: usize, vni: u32) -> Frame {
+    let mut f = inner;
+    for level in 0..depth {
+        f = Frame::new(
+            MacAddr::local(0x700 + level as u32),
+            MacAddr::local(0x800 + level as u32),
+            Payload::Ipv4(Ipv4Packet {
+                src: Ipv4Addr::new(192, 0, 2, 1),
+                dst: Ipv4Addr::new(192, 0, 2, 2),
+                ttl: 64,
+                tos: 0,
+                transport: Transport::Udp(UdpDatagram {
+                    sport: 49152,
+                    dport: VXLAN_UDP_PORT,
+                    payload: UdpPayload::Vxlan {
+                        vni: Vni::new(vni + level as u32),
+                        inner: Box::new(f),
+                    },
+                }),
+            }),
+        );
+    }
+    f
+}
+
+/// How many VXLAN layers wrap the frame.
+fn nesting_depth(f: &Frame) -> usize {
+    match f.payload.get() {
+        Payload::Ipv4(ip) => match &ip.transport {
+            Transport::Udp(udp) => match &udp.payload {
+                UdpPayload::Vxlan { inner, .. } => 1 + nesting_depth(inner),
+                _ => 0,
+            },
+            _ => 0,
+        },
+        _ => 0,
+    }
+}
+
 /// Normalizes fields the wire legitimately cannot preserve: frame id, origin
 /// timestamp, and the padding added to reach the 64-byte minimum.
 fn canonical(mut f: Frame) -> Frame {
@@ -145,6 +186,27 @@ proptest! {
     #[test]
     fn parser_never_panics_on_noise(data in proptest::collection::vec(any::<u8>(), 0..512)) {
         let _ = parse(&data);
+    }
+
+    #[test]
+    fn vxlan_nested_roundtrip(frame in arb_frame(), depth in 0usize..5, vni in 1u32..10_000) {
+        // Every frame shape survives bounded VXLAN nesting: the nesting
+        // depth is preserved and serialize . parse . serialize is still
+        // the identity on bytes (ids are not serialized).
+        let nested = vxlan_nest(frame, depth, vni);
+        let bytes = serialize(&nested);
+        let parsed = parse(&bytes).expect("nested parse");
+        prop_assert_eq!(nesting_depth(&parsed), depth);
+        prop_assert_eq!(serialize(&parsed), bytes);
+    }
+
+    #[test]
+    fn vxlan_past_the_cap_is_a_typed_reject(frame in arb_frame(), extra in 1usize..3) {
+        let bomb = vxlan_nest(frame, MAX_ENCAP_DEPTH + extra, 1);
+        match parse(&serialize(&bomb)) {
+            Err(WireError::EncapTooDeep) => {}
+            other => prop_assert!(false, "decap bomb not rejected: {:?}", other.map(|f| f.id)),
+        }
     }
 
     #[test]

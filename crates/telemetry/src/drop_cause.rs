@@ -49,11 +49,18 @@ pub enum DropCause {
     RuleLostRaceWindow,
     /// A frame matched no flow rule (table miss) in a healthy vswitch.
     FlowMiss,
+    /// Raw bytes arriving from an untrusted source (wire or tenant VF)
+    /// failed to parse as a well-formed frame and were discarded at the
+    /// ingress boundary instead of panicking a parser.
+    MalformedFrame,
+    /// Raw bytes parsed as a frame but exceeded the supported VXLAN
+    /// encapsulation depth (decap-bomb defence; see `mts-net::wire`).
+    MalformedEncap,
 }
 
 impl DropCause {
     /// Every cause, in stable (alphabetical-ish declaration) order.
-    pub const ALL: [DropCause; 18] = [
+    pub const ALL: [DropCause; 20] = [
         DropCause::NicError,
         DropCause::NicSpoof,
         DropCause::NicFilter,
@@ -72,6 +79,8 @@ impl DropCause {
         DropCause::LinkDown,
         DropCause::RuleLostRaceWindow,
         DropCause::FlowMiss,
+        DropCause::MalformedFrame,
+        DropCause::MalformedEncap,
     ];
 
     /// Whether this cause is only ever produced by injected faults or
@@ -105,6 +114,8 @@ impl DropCause {
             DropCause::LinkDown => "link-down",
             DropCause::RuleLostRaceWindow => "rule-lost-race-window",
             DropCause::FlowMiss => "flow-miss",
+            DropCause::MalformedFrame => "malformed-frame",
+            DropCause::MalformedEncap => "malformed-encap",
         }
     }
 }
